@@ -1,0 +1,52 @@
+// Command dataviewer renders a saved PRoof report (JSON, as produced by
+// `proof -json`) into a self-contained HTML page with SVG roofline
+// charts, or prints the text summary.
+//
+//	dataviewer -in report.json -out report.html
+//	dataviewer -in report.json -text
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"proof"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "input report JSON (required)")
+		out  = flag.String("out", "", "output HTML path")
+		text = flag.Bool("text", false, "print the text summary instead")
+		topN = flag.Int("top", 15, "layers to show with -text")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dataviewer: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var report proof.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *in, err))
+	}
+	if *text || *out == "" {
+		proof.WriteText(os.Stdout, &report, *topN)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(proof.RenderHTML(&report)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dataviewer:", err)
+	os.Exit(1)
+}

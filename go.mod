@@ -1,0 +1,3 @@
+module proof
+
+go 1.22

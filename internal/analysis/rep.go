@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+
+	"proof/internal/graph"
+)
+
+// Rep is the Analyze Representation (§3.2.2): the model graph plus the
+// per-node predicted costs from the operator defines.
+type Rep struct {
+	// Graph is the analyzed model. Shapes are inferred.
+	Graph *graph.Graph
+	// costs maps node name to its predicted cost.
+	costs map[string]Cost
+	// order caches the topological node order.
+	order []*graph.Node
+}
+
+// NewRep builds the Analyze Representation for a graph: validates it,
+// runs shape inference, and evaluates every node's operator define.
+func NewRep(g *graph.Graph) (*Rep, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	r := &Rep{Graph: g, costs: make(map[string]Cost, len(g.Nodes)), order: order}
+	for _, n := range g.Nodes {
+		c, err := NodeCost(n, g)
+		if err != nil {
+			return nil, err
+		}
+		r.costs[n.Name] = c
+	}
+	return r, nil
+}
+
+// NewRepWithBatch rebuilds the representation after setting the leading
+// dimension of every graph input to batch. Int64 index inputs (e.g.
+// token ids) are rebatched too.
+func NewRepWithBatch(g *graph.Graph, batch int) (*Rep, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("analysis: batch must be >= 1, got %d", batch)
+	}
+	for _, in := range g.Inputs {
+		t := g.Tensor(in)
+		if t == nil {
+			return nil, fmt.Errorf("analysis: graph input %q not registered", in)
+		}
+		if t.Shape.Rank() == 0 {
+			continue
+		}
+		t.Shape[0] = batch
+	}
+	return NewRep(g)
+}
+
+// NodeCost returns the predicted cost of the named node.
+func (r *Rep) NodeCost(name string) (Cost, bool) {
+	c, ok := r.costs[name]
+	return c, ok
+}
+
+// TotalCost returns the summed cost of all nodes — the model-level FLOP
+// and memory prediction (Table 3's GFLOP column at batch 1).
+func (r *Rep) TotalCost() Cost {
+	var total Cost
+	for _, n := range r.order {
+		total = total.Add(r.costs[n.Name])
+	}
+	return total
+}
+
+// Nodes returns the nodes in topological order.
+func (r *Rep) Nodes() []*graph.Node { return r.order }
+
+// NodeCount returns the number of operators in the model (Table 3's
+// "ONNX Nodes" column).
+func (r *Rep) NodeCount() int { return len(r.order) }
+
+// BatchSize returns the leading dimension of the first graph input.
+func (r *Rep) BatchSize() int {
+	if len(r.Graph.Inputs) == 0 {
+		return 1
+	}
+	t := r.Graph.Tensor(r.Graph.Inputs[0])
+	if t == nil || t.Shape.Rank() == 0 {
+		return 1
+	}
+	return t.Shape[0]
+}

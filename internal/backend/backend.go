@@ -1,0 +1,247 @@
+// Package backend implements the paper's backend abstraction (§3.3): a
+// unified interface over DNN inference runtimes. Because no production
+// runtime exists for this environment, the three runtimes of Table 2 are
+// reproduced as simulators — trtsim (TensorRT-like), ovsim
+// (OpenVINO-like) and ortsim (ONNX-Runtime-like) — each with its own
+// graph-optimization pipeline (operator fusion, reformat/reorder layer
+// insertion, Myelin-style opaque regions) and, crucially, its own
+// *information regime*: the kind and completeness of the
+// backend-layer-to-model-layer mapping information the runtime exposes,
+// which is what the paper's layer-mapping strategies must cope with.
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"proof/internal/analysis"
+	"proof/internal/graph"
+	"proof/internal/hardware"
+	"proof/internal/sim"
+)
+
+// Config selects how a model is built and executed on a backend.
+type Config struct {
+	// Platform is the simulated hardware.
+	Platform *hardware.Platform
+	// DType is the inference data type (fp32/fp16/int8).
+	DType graph.DataType
+	// Batch is the inference batch size.
+	Batch int
+	// Clocks optionally overrides the platform clock configuration
+	// (zero = platform defaults).
+	Clocks hardware.Clocks
+}
+
+// Kernel is one lowered low-level operation (e.g. a CUDA kernel) of a
+// backend layer, as a vendor system profiler would report it (Figure 3's
+// bottom level).
+type Kernel struct {
+	// Name is the fabricated kernel name.
+	Name string
+	// LayerName is the owning backend layer (the correlation Nsight
+	// Systems provides).
+	LayerName string
+	// ShareOfLayer is the fraction of the layer's time this kernel
+	// takes.
+	ShareOfLayer float64
+}
+
+// Layer is the public description of one backend layer — only the
+// information the simulated runtime chooses to expose. Which fields are
+// populated depends on the backend (the information regimes of §3.3).
+type Layer struct {
+	// Name is the runtime-assigned layer name.
+	Name string
+	// FusedNodeNames lists the original node names fused into this
+	// layer, when the runtime exposes them (ovsim, like OpenVINO's
+	// ORIGINAL_LAYER_NAMES; trtsim non-Myelin layers encode them in
+	// the name).
+	FusedNodeNames []string
+	// InputTensors/OutputTensors are the layer's boundary tensors as
+	// the runtime names them — possibly aliases created by reorder
+	// layers (ortsim/trtsim).
+	InputTensors  []string
+	OutputTensors []string
+	// IsReformat marks runtime-inserted data conversion layers
+	// (TensorRT "Reformat", OpenVINO "Convert", ONNX Runtime
+	// "reorder"): they correspond to no original model node.
+	IsReformat bool
+	// Opaque marks layers for which the runtime exposes no node
+	// names (trtsim Myelin "{ForeignNode[...]}" regions).
+	Opaque bool
+	// Kernels lists the lowered kernels of this layer.
+	Kernels []Kernel
+}
+
+// Profile is the output of a backend's built-in profiler: per-layer and
+// end-to-end latency. This is all that prediction mode needs (§3.3).
+type Profile struct {
+	// LayerLatency maps backend layer name to its measured latency.
+	LayerLatency map[string]time.Duration
+	// Order lists layer names in execution order.
+	Order []string
+	// Total is the end-to-end latency of one inference.
+	Total time.Duration
+}
+
+// Mapping is the result of layer mapping: backend layer name to the
+// optimized-representation layer it corresponds to. Reformat layers map
+// to nil (they have no original nodes).
+type Mapping map[string]*analysis.Layer
+
+// Backend is one simulated DNN inference runtime.
+type Backend interface {
+	// Name returns the backend key ("trtsim", "ovsim", "ortsim").
+	Name() string
+	// Build optimizes the model for the target config and returns an
+	// executable engine.
+	Build(rep *analysis.Rep, cfg Config) (*Engine, error)
+	// MapLayers implements PRoof's layer-mapping strategy for this
+	// runtime: using only the public Layer info of the engine, it
+	// transforms opt into the backend's fused structure and returns
+	// the backend-layer-to-model-layer mapping.
+	MapLayers(e *Engine, opt *analysis.OptimizedRep) (Mapping, error)
+}
+
+var registry = map[string]Backend{}
+
+// Register installs a backend implementation.
+func Register(b Backend) {
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("backend: duplicate backend %q", b.Name()))
+	}
+	registry[b.Name()] = b
+}
+
+// Get returns the backend for a key.
+func Get(key string) (Backend, error) {
+	if b, ok := registry[key]; ok {
+		return b, nil
+	}
+	keys := make([]string, 0, len(registry))
+	for k := range registry {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return nil, fmt.Errorf("backend: unknown backend %q (have %v)", key, keys)
+}
+
+// List returns the registered backend keys, sorted.
+func List() []string {
+	keys := make([]string, 0, len(registry))
+	for k := range registry {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// execLayer couples the public layer info with the engine's internal
+// ground truth (hidden from the mapping code).
+type execLayer struct {
+	public Layer
+	// truth is the optimized-representation layer (nil for
+	// reformats).
+	truth *analysis.Layer
+	// work is the simulation workload.
+	work sim.Work
+}
+
+// Engine is a built (optimized) model on a backend, ready to execute.
+// The public surface (Layers, Profile, Kernels) models what a real
+// runtime exposes; the ground-truth internals are only available to the
+// simulator and to tests via GroundTruth.
+type Engine struct {
+	backendName string
+	cfg         Config
+	// rep is the engine's internal analysis of the (re-typed,
+	// re-batched) model.
+	rep *analysis.Rep
+	// internalOpt is the runtime's own fused structure — the ground
+	// truth that layer mapping must reconstruct from public info.
+	internalOpt *analysis.OptimizedRep
+	layers      []*execLayer
+}
+
+// BackendName returns the owning backend key.
+func (e *Engine) BackendName() string { return e.backendName }
+
+// Config returns the build configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Layers returns the public per-layer information in execution order.
+func (e *Engine) Layers() []Layer {
+	out := make([]Layer, len(e.layers))
+	for i, l := range e.layers {
+		out[i] = l.public
+	}
+	return out
+}
+
+// Profile runs the built-in profiler: it simulates one inference and
+// returns per-layer latencies. seed varies run-to-run jitter.
+func (e *Engine) Profile(seed uint64) (*Profile, error) {
+	cfg := e.simConfig(seed)
+	p := &Profile{LayerLatency: make(map[string]time.Duration, len(e.layers))}
+	for _, l := range e.layers {
+		t := sim.SimulateLayer(l.work, cfg)
+		p.LayerLatency[l.public.Name] = t.Latency
+		p.Order = append(p.Order, l.public.Name)
+		p.Total += t.Latency
+	}
+	return p, nil
+}
+
+// Timings runs the simulator and returns the detailed per-layer timing
+// records (compute/memory split, actual traffic) in execution order —
+// the ground-truth execution internal/ncusim measures.
+func (e *Engine) Timings(seed uint64) []sim.Timing {
+	cfg := e.simConfig(seed)
+	out := make([]sim.Timing, len(e.layers))
+	for i, l := range e.layers {
+		out[i] = sim.SimulateLayer(l.work, cfg)
+	}
+	return out
+}
+
+// Works returns the per-layer simulation workloads in execution order.
+// Only the measurement path (ncusim) may consult this — it corresponds
+// to what hardware performance counters observe.
+func (e *Engine) Works() []sim.Work {
+	out := make([]sim.Work, len(e.layers))
+	for i, l := range e.layers {
+		out[i] = l.work
+	}
+	return out
+}
+
+// GroundTruth returns the runtime's internal fused layer for a backend
+// layer name (nil for reformat layers). Exposed for validation tests;
+// PRoof's mapping code must not use it.
+func (e *Engine) GroundTruth(layerName string) *analysis.Layer {
+	for _, l := range e.layers {
+		if l.public.Name == layerName {
+			return l.truth
+		}
+	}
+	return nil
+}
+
+// Rep returns the engine's internal analysis representation (re-typed
+// and re-batched model).
+func (e *Engine) Rep() *analysis.Rep { return e.rep }
+
+func (e *Engine) simConfig(seed uint64) sim.Config {
+	clk := e.cfg.Clocks
+	if clk.GPUMHz == 0 && clk.EMCMHz == 0 && e.cfg.Platform.Clocks != nil {
+		clk = e.cfg.Platform.DefaultClocks()
+	}
+	return sim.Config{
+		Platform: e.cfg.Platform,
+		Clocks:   clk,
+		DType:    e.cfg.DType,
+		Seed:     seed,
+	}
+}

@@ -1,0 +1,211 @@
+package backend
+
+import (
+	"fmt"
+
+	"proof/internal/analysis"
+	"proof/internal/graph"
+	"proof/internal/hardware"
+	"proof/internal/sim"
+)
+
+// ReformatSpec describes a runtime-inserted data conversion layer.
+type ReformatSpec struct {
+	// BeforeGroup is the index of the group the reformat precedes
+	// (len(groups) = after the last group).
+	BeforeGroup int
+	// Tensor is the original tensor being converted.
+	Tensor string
+	// Alias is the runtime's name for the converted tensor.
+	Alias string
+	// Name is the reformat layer's name.
+	Name string
+}
+
+// InfoFn produces the public Layer info for one fusion group, given the
+// ground-truth layer and the accumulated tensor alias map. This is where
+// each backend decides what it reveals.
+type InfoFn func(idx int, gr *Group, truth *analysis.Layer, alias map[string]string) Layer
+
+// ReformatFn decides where a backend inserts reformat/reorder layers.
+type ReformatFn func(rep *analysis.Rep, groups []*Group) []ReformatSpec
+
+// BuildSpec bundles a backend's pipeline configuration for BuildEngine.
+type BuildSpec struct {
+	// BackendName is the owning backend key.
+	BackendName string
+	// Rules is the fusion rule set.
+	Rules FusionRules
+	// Info produces public layer info.
+	Info InfoFn
+	// Reformats optionally inserts conversion layers (may be nil).
+	Reformats ReformatFn
+}
+
+// BuildEngine runs the shared backend build pipeline: fuse the graph,
+// derive the internal ground-truth optimized representation, insert
+// reformats, compute per-layer simulation workloads and lowered kernels,
+// and assemble the engine.
+func BuildEngine(spec BuildSpec, rep *analysis.Rep, cfg Config) (*Engine, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("backend: config requires a platform")
+	}
+	if !cfg.DType.Valid() {
+		cfg.DType = cfg.Platform.DefaultDType
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = rep.BatchSize()
+	}
+
+	groups := Fuse(rep, spec.Rules)
+	internalOpt := analysis.NewOptimizedRep(rep)
+
+	// Ground-truth layers per group.
+	truths := make([]*analysis.Layer, len(groups))
+	for i, gr := range groups {
+		if len(gr.Nodes) == 1 {
+			truths[i] = &analysis.Layer{Node: gr.Nodes[0]}
+			continue
+		}
+		f, err := internalOpt.SetFusedOp(fmt.Sprintf("%s_group_%d", spec.BackendName, i), gr.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: fusing group %d: %w", spec.BackendName, i, err)
+		}
+		truths[i] = &analysis.Layer{Fused: f}
+	}
+
+	var reformats []ReformatSpec
+	if spec.Reformats != nil {
+		reformats = spec.Reformats(rep, groups)
+	}
+	byPos := map[int][]ReformatSpec{}
+	for _, r := range reformats {
+		byPos[r.BeforeGroup] = append(byPos[r.BeforeGroup], r)
+	}
+
+	e := &Engine{
+		backendName: spec.BackendName,
+		cfg:         cfg,
+		rep:         rep,
+		internalOpt: internalOpt,
+	}
+	alias := map[string]string{} // original tensor -> runtime alias
+
+	emitReformats := func(pos int) error {
+		for _, r := range byPos[pos] {
+			t := rep.Graph.Tensor(r.Tensor)
+			if t == nil {
+				return fmt.Errorf("backend %s: reformat of unknown tensor %q", spec.BackendName, r.Tensor)
+			}
+			alias[r.Tensor] = r.Alias
+			bytes := 2 * t.Bytes()
+			pub := Layer{
+				Name:          r.Name,
+				InputTensors:  []string{r.Tensor},
+				OutputTensors: []string{r.Alias},
+				IsReformat:    true,
+			}
+			pub.Kernels = []Kernel{{
+				Name:         sim.KernelNameFor(cfg.Platform.Arch, sim.ClassMemCopy, cfg.DType, r.Name),
+				LayerName:    r.Name,
+				ShareOfLayer: 1,
+			}}
+			e.layers = append(e.layers, &execLayer{
+				public: pub,
+				work: sim.Work{
+					Name:  r.Name,
+					Class: sim.ClassMemCopy,
+					Bytes: bytes,
+				},
+			})
+		}
+		return nil
+	}
+
+	for i, gr := range groups {
+		if err := emitReformats(i); err != nil {
+			return nil, err
+		}
+		truth := truths[i]
+		cost, err := internalOpt.LayerCost(truth)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: cost of group %d: %w", spec.BackendName, i, err)
+		}
+		pub := spec.Info(i, gr, truth, alias)
+		class := sim.ClassifyNodes(gr.Nodes, rep.Graph)
+		work := sim.Work{
+			Name:      pub.Name,
+			Class:     class,
+			HWFLOP:    sim.HardwareFLOPForNodes(gr.Nodes, rep.Graph, cfg.Platform),
+			ModelFLOP: cost.FLOP,
+			Bytes:     cost.MemoryBytes(),
+		}
+		pub.Kernels = lowerKernels(gr, pub.Name, class, cfg.Platform, cfg.DType, rep.Graph)
+		e.layers = append(e.layers, &execLayer{public: pub, truth: truth, work: work})
+	}
+	if err := emitReformats(len(groups)); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// lowerKernels fabricates the kernel-level lowering of a backend layer
+// (Figure 3's bottom level): Myelin regions launch one kernel per
+// matrix multiply plus a fused elementwise kernel; ordinary layers
+// launch one kernel.
+func lowerKernels(gr *Group, layerName string, class sim.Class, plat *hardware.Platform, dt graph.DataType, g *graph.Graph) []Kernel {
+	if gr.Kind == KindMyelin {
+		var kernels []Kernel
+		for _, n := range gr.Nodes {
+			if n.OpType == "MatMul" || n.OpType == "Gemm" {
+				kernels = append(kernels, Kernel{
+					Name:      sim.KernelNameFor(plat.Arch, sim.ClassGEMM, dt, n.Name),
+					LayerName: layerName,
+				})
+			}
+		}
+		kernels = append(kernels, Kernel{
+			Name:      sim.KernelNameFor(plat.Arch, sim.ClassElementwise, dt, "myelin_pointwise"),
+			LayerName: layerName,
+		})
+		share := 1.0 / float64(len(kernels))
+		for i := range kernels {
+			kernels[i].ShareOfLayer = share
+		}
+		return kernels
+	}
+	name := layerName
+	if gr.Anchor != nil {
+		name = gr.Anchor.Name
+	}
+	return []Kernel{{
+		Name:         sim.KernelNameFor(plat.Arch, class, dt, name),
+		LayerName:    layerName,
+		ShareOfLayer: 1,
+	}}
+}
+
+// BoundaryIO returns a ground-truth layer's activation inputs/outputs
+// with runtime aliases applied — the io info a runtime exposes for a
+// layer.
+func BoundaryIO(truth *analysis.Layer, alias map[string]string) (ins, outs []string) {
+	applyAlias := func(names []string) []string {
+		out := make([]string, len(names))
+		for i, n := range names {
+			if a, ok := alias[n]; ok {
+				n = a
+			}
+			out[i] = n
+		}
+		return out
+	}
+	if truth.Fused != nil {
+		return applyAlias(truth.Fused.Inputs), applyAlias(truth.Fused.Outputs)
+	}
+	n := truth.Node
+	var rawIns []string
+	for _, in := range n.Inputs {
+		rawIns = append(rawIns, in)
+	}
+	return applyAlias(rawIns), applyAlias(n.Outputs)
+}

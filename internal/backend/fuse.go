@@ -1,0 +1,416 @@
+package backend
+
+import (
+	"proof/internal/analysis"
+	"proof/internal/graph"
+)
+
+// GroupKind distinguishes ordinary fusion groups from opaque
+// Myelin-style regions.
+type GroupKind int
+
+const (
+	// KindNormal is an ordinary (chain) fusion group or single layer.
+	KindNormal GroupKind = iota
+	// KindMyelin is an opaque compiler region fusing a transformer
+	// sub-graph (TensorRT's Myelin optimizer).
+	KindMyelin
+)
+
+// Group is one backend layer's worth of original nodes, before naming
+// and info-regime decisions.
+type Group struct {
+	// Kind is the group kind.
+	Kind GroupKind
+	// Nodes are the original nodes, in topological order, including
+	// folded metadata nodes (Constants, shape chains, Reshapes).
+	Nodes []*graph.Node
+	// Anchor is the group's defining compute node (nil for pure
+	// data-movement or Myelin groups).
+	Anchor *graph.Node
+}
+
+// FusionRules parameterizes a backend's graph-optimization pipeline.
+type FusionRules struct {
+	// AbsorbOps are op types a compute chain absorbs downstream of an
+	// anchor (activations, BatchNorm folding, residual Adds...).
+	AbsorbOps map[string]bool
+	// AbsorbSiLU absorbs the Sigmoid+Mul pair PyTorch exports for
+	// SiLU activations.
+	AbsorbSiLU bool
+	// AbsorbGelu absorbs the 5-node erf-based GELU expansion.
+	AbsorbGelu bool
+	// Myelin enables opaque transformer-region fusion.
+	Myelin bool
+	// PointwiseRuns fuses chains of pure elementwise nodes even
+	// without a conv/matmul anchor.
+	PointwiseRuns bool
+}
+
+// anchorOps start fusion chains.
+var anchorOps = map[string]bool{
+	"Conv": true, "ConvTranspose": true, "Gemm": true, "MatMul": true,
+	"Einsum": true,
+}
+
+// pointwiseOps may participate in pointwise runs.
+var pointwiseOps = map[string]bool{
+	"Relu": true, "Clip": true, "Sigmoid": true, "Tanh": true, "Erf": true,
+	"Add": true, "Sub": true, "Mul": true, "Div": true, "Pow": true,
+	"Sqrt": true, "Exp": true, "Log": true, "HardSwish": true,
+	"HardSigmoid": true, "LeakyRelu": true, "Neg": true, "Abs": true,
+}
+
+// myelinOps may be swallowed by an opaque region (no convolutions or
+// pooling: Myelin targets transformer subgraphs).
+var myelinOps = map[string]bool{
+	"MatMul": true, "Gemm": true, "Einsum": true, "Add": true, "Sub": true, "Mul": true,
+	"Div": true, "Pow": true, "Sqrt": true, "Erf": true, "Softmax": true,
+	"LayerNormalization": true, "ReduceMean": true, "Transpose": true,
+	"Reshape": true, "Split": true, "Concat": true, "Slice": true,
+	"Squeeze": true, "Unsqueeze": true, "Expand": true, "Shape": true,
+	"Constant": true, "Gather": true, "Cast": true, "Sigmoid": true,
+	"Tanh": true, "Gelu": true, "Where": true, "Relu": true,
+}
+
+// IsMetadataNode reports whether a node is folded away by every runtime:
+// zero-copy shape manipulation, constants, and integer shape arithmetic.
+func IsMetadataNode(n *graph.Node, g *graph.Graph) bool {
+	switch n.OpType {
+	case "Reshape", "Shape", "Squeeze", "Unsqueeze", "Flatten",
+		"Identity", "Dropout", "Constant":
+		return true
+	}
+	// Small integer tensors are shape computations (Gather/Concat/
+	// Add on Shape results), not data movement.
+	if len(n.Outputs) == 1 {
+		t := g.Tensor(n.Outputs[0])
+		if t != nil && t.DType == graph.Int64 && t.Shape != nil && t.Shape.NumElements() <= 64 {
+			return true
+		}
+	}
+	return false
+}
+
+// Fuse runs the backend's graph optimizer: it partitions the model's
+// nodes into fusion groups according to rules. Every non-Constant node
+// lands in exactly one group.
+func Fuse(rep *analysis.Rep, rules FusionRules) []*Group {
+	g := rep.Graph
+	order := rep.Nodes()
+	pos := make(map[*graph.Node]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	claimed := make(map[*graph.Node]*Group, len(order))
+	var groups []*Group
+
+	newGroup := func(kind GroupKind, anchor *graph.Node, nodes ...*graph.Node) *Group {
+		gr := &Group{Kind: kind, Anchor: anchor}
+		for _, n := range nodes {
+			gr.Nodes = append(gr.Nodes, n)
+			claimed[n] = gr
+		}
+		groups = append(groups, gr)
+		return gr
+	}
+	isOutput := func(t string) bool {
+		for _, out := range g.Outputs {
+			if out == t {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 1: Myelin regions — maximal topo-contiguous runs of
+	// myelin-able nodes containing at least two matrix multiplies,
+	// flushed at LayerNorm boundaries to keep per-attention/per-MLP
+	// granularity.
+	if rules.Myelin {
+		var segment []*graph.Node
+		produced := map[string]bool{}
+		matmuls := 0
+		flush := func() {
+			if matmuls >= 2 {
+				newGroup(KindMyelin, nil, segment...)
+			}
+			segment = nil
+			produced = map[string]bool{}
+			matmuls = 0
+		}
+		connects := func(n *graph.Node) bool {
+			if len(segment) == 0 || len(n.Inputs) == 0 {
+				return true // fresh segment, or a Constant
+			}
+			for _, in := range n.Inputs {
+				if produced[in] {
+					return true
+				}
+			}
+			// Nodes reading only tensors from *before* the segment
+			// (e.g. a residual shortcut) still connect when their
+			// output feeds nothing... be conservative: require a
+			// produced input, except for metadata.
+			return IsMetadataNode(n, g)
+		}
+		for _, n := range order {
+			if !myelinOps[n.OpType] {
+				flush()
+				continue
+			}
+			if n.OpType == "LayerNormalization" && matmuls >= 1 {
+				flush()
+			}
+			// Cap regions at two matrix multiplies: Myelin emits one
+			// kernel per GEMM with fused pointwise epilogues, and
+			// large intermediates between GEMM pairs spill to DRAM,
+			// so region granularity tracks the GEMM structure.
+			if (n.OpType == "MatMul" || n.OpType == "Gemm" || n.OpType == "Einsum") && matmuls >= 2 {
+				flush()
+			}
+			if !connects(n) {
+				flush()
+			}
+			segment = append(segment, n)
+			for _, out := range n.Outputs {
+				produced[out] = true
+			}
+			if n.OpType == "MatMul" || n.OpType == "Gemm" || n.OpType == "Einsum" {
+				matmuls++
+			}
+		}
+		flush()
+	}
+
+	// Pass 2: anchored chains. From each unclaimed anchor, absorb the
+	// single-consumer chain of absorbable ops (plus the SiLU and GELU
+	// multi-node patterns).
+	for _, n := range order {
+		if claimed[n] != nil || !anchorOps[n.OpType] || IsMetadataNode(n, g) {
+			continue
+		}
+		gr := newGroup(KindNormal, n, n)
+		tail := n
+		for {
+			if len(tail.Outputs) != 1 || isOutput(tail.Outputs[0]) {
+				break
+			}
+			out := tail.Outputs[0]
+			consumers := unclaimedConsumers(g, out, claimed)
+			if len(consumers) != len(g.Consumers(out)) {
+				break // someone else already owns a consumer
+			}
+			if next, ok := matchSingle(consumers, rules.AbsorbOps); ok {
+				gr.Nodes = append(gr.Nodes, next)
+				claimed[next] = gr
+				tail = next
+				continue
+			}
+			if rules.AbsorbSiLU {
+				if sig, mul, ok := matchSiLU(g, out, consumers); ok {
+					gr.Nodes = append(gr.Nodes, sig, mul)
+					claimed[sig] = gr
+					claimed[mul] = gr
+					tail = mul
+					continue
+				}
+			}
+			if rules.AbsorbGelu {
+				if nodes, last, ok := matchGelu(g, out, consumers, claimed); ok {
+					for _, gn := range nodes {
+						gr.Nodes = append(gr.Nodes, gn)
+						claimed[gn] = gr
+					}
+					tail = last
+					continue
+				}
+			}
+			break
+		}
+	}
+
+	// Pass 3: pointwise runs.
+	if rules.PointwiseRuns {
+		for _, n := range order {
+			if claimed[n] != nil || !pointwiseOps[n.OpType] || IsMetadataNode(n, g) {
+				continue
+			}
+			gr := newGroup(KindNormal, nil, n)
+			tail := n
+			for len(tail.Outputs) == 1 && !isOutput(tail.Outputs[0]) {
+				consumers := unclaimedConsumers(g, tail.Outputs[0], claimed)
+				if len(consumers) != 1 || len(g.Consumers(tail.Outputs[0])) != 1 {
+					break
+				}
+				next := consumers[0]
+				if !pointwiseOps[next.OpType] || IsMetadataNode(next, g) {
+					break
+				}
+				gr.Nodes = append(gr.Nodes, next)
+				claimed[next] = gr
+				tail = next
+			}
+		}
+	}
+
+	// Pass 4: every remaining non-metadata node is its own layer.
+	for _, n := range order {
+		if claimed[n] == nil && !IsMetadataNode(n, g) {
+			newGroup(KindNormal, nil, n)
+		}
+	}
+
+	// Pass 5: attach metadata nodes to the group of their first
+	// consumer (walked in reverse topo order so chains resolve), or
+	// of their producer, or a singleton group as a last resort.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if claimed[n] != nil || !IsMetadataNode(n, g) {
+			continue
+		}
+		var target *Group
+		for _, out := range n.Outputs {
+			for _, c := range g.Consumers(out) {
+				if gr := claimed[c]; gr != nil {
+					target = gr
+					break
+				}
+			}
+			if target != nil {
+				break
+			}
+		}
+		if target == nil {
+			for _, in := range n.Inputs {
+				if p := g.Producer(in); p != nil && claimed[p] != nil {
+					target = claimed[p]
+					break
+				}
+			}
+		}
+		if target == nil {
+			newGroup(KindNormal, nil, n)
+			continue
+		}
+		target.Nodes = append(target.Nodes, n)
+		claimed[n] = target
+	}
+
+	// Normalize: sort each group's nodes and the group list by topo
+	// position.
+	for _, gr := range groups {
+		sortNodesByPos(gr.Nodes, pos)
+	}
+	sortGroupsByPos(groups, pos)
+	return groups
+}
+
+func unclaimedConsumers(g *graph.Graph, tensor string, claimed map[*graph.Node]*Group) []*graph.Node {
+	var out []*graph.Node
+	for _, c := range g.Consumers(tensor) {
+		if claimed[c] == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func matchSingle(consumers []*graph.Node, absorb map[string]bool) (*graph.Node, bool) {
+	if len(consumers) != 1 {
+		return nil, false
+	}
+	c := consumers[0]
+	if absorb[c.OpType] {
+		return c, true
+	}
+	return nil, false
+}
+
+// matchSiLU detects   t -> Sigmoid -> s
+//
+//	t ----------------> Mul(t, s)
+func matchSiLU(g *graph.Graph, tensor string, consumers []*graph.Node) (sig, mul *graph.Node, ok bool) {
+	if len(consumers) != 2 {
+		return nil, nil, false
+	}
+	for _, c := range consumers {
+		switch c.OpType {
+		case "Sigmoid":
+			sig = c
+		case "Mul":
+			mul = c
+		}
+	}
+	if sig == nil || mul == nil || len(sig.Outputs) != 1 {
+		return nil, nil, false
+	}
+	sc := g.Consumers(sig.Outputs[0])
+	if len(sc) != 1 || sc[0] != mul {
+		return nil, nil, false
+	}
+	return sig, mul, true
+}
+
+// matchGelu detects the erf expansion
+//
+//	t -> Div(t,c) -> Erf -> Add(e,1) -> Mul(t,a) -> Mul(m, 0.5)
+//
+// and returns the five compute nodes in order plus the final node.
+func matchGelu(g *graph.Graph, tensor string, consumers []*graph.Node, claimed map[*graph.Node]*Group) ([]*graph.Node, *graph.Node, bool) {
+	var div, mul1 *graph.Node
+	for _, c := range consumers {
+		switch c.OpType {
+		case "Div":
+			div = c
+		case "Mul":
+			mul1 = c
+		}
+	}
+	if div == nil || mul1 == nil {
+		return nil, nil, false
+	}
+	next := func(n *graph.Node, op string) *graph.Node {
+		if len(n.Outputs) != 1 {
+			return nil
+		}
+		cs := g.Consumers(n.Outputs[0])
+		if len(cs) != 1 || cs[0].OpType != op || claimed[cs[0]] != nil {
+			return nil
+		}
+		return cs[0]
+	}
+	erf := next(div, "Erf")
+	if erf == nil {
+		return nil, nil, false
+	}
+	add := next(erf, "Add")
+	if add == nil {
+		return nil, nil, false
+	}
+	m1 := next(add, "Mul")
+	if m1 == nil || m1 != mul1 {
+		return nil, nil, false
+	}
+	m2 := next(m1, "Mul")
+	if m2 == nil {
+		return nil, nil, false
+	}
+	return []*graph.Node{div, erf, add, m1, m2}, m2, true
+}
+
+func sortNodesByPos(nodes []*graph.Node, pos map[*graph.Node]int) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && pos[nodes[j]] < pos[nodes[j-1]]; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+func sortGroupsByPos(groups []*Group, pos map[*graph.Node]int) {
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && pos[groups[j].Nodes[0]] < pos[groups[j-1].Nodes[0]]; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+}

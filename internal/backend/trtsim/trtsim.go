@@ -1,0 +1,138 @@
+// Package trtsim simulates a TensorRT-like inference runtime: aggressive
+// convolution-chain fusion, pointwise fusion, Myelin-style opaque
+// transformer regions ("{ForeignNode[...]}"), and Reformat layers around
+// graph inputs/outputs. Non-Myelin layer names concatenate the original
+// node names with " + " — exactly the naming TensorRT produces — which
+// is the mapping information PRoof's TensorRT strategy parses. Myelin
+// regions expose no node names; mapping falls back to boundary-tensor
+// subgraph search through the reformat aliases (§3.3's "guess the
+// missing information based on the computational graph and data
+// dependencies").
+package trtsim
+
+import (
+	"fmt"
+	"strings"
+
+	"proof/internal/analysis"
+	"proof/internal/backend"
+)
+
+// TensorRT is the simulated TensorRT backend.
+type TensorRT struct{}
+
+// New returns the backend.
+func New() backend.Backend { return TensorRT{} }
+
+func init() { backend.Register(New()) }
+
+// Name returns "trtsim".
+func (TensorRT) Name() string { return "trtsim" }
+
+var rules = backend.FusionRules{
+	AbsorbOps: map[string]bool{
+		"Relu": true, "Clip": true, "Sigmoid": true, "Tanh": true,
+		"Add": true, "Mul": true, "BatchNormalization": true,
+		"HardSwish": true, "HardSigmoid": true, "LeakyRelu": true,
+	},
+	AbsorbSiLU:    true,
+	AbsorbGelu:    true,
+	Myelin:        true,
+	PointwiseRuns: true,
+}
+
+// Build optimizes the model TensorRT-style and returns the engine.
+func (t TensorRT) Build(rep *analysis.Rep, cfg backend.Config) (*backend.Engine, error) {
+	spec := backend.BuildSpec{
+		BackendName: t.Name(),
+		Rules:       rules,
+		Info:        trtInfo,
+		Reformats:   trtReformats,
+	}
+	return backend.BuildEngine(spec, rep, cfg)
+}
+
+func trtInfo(idx int, gr *backend.Group, truth *analysis.Layer, alias map[string]string) backend.Layer {
+	ins, outs := backend.BoundaryIO(truth, alias)
+	if gr.Kind == backend.KindMyelin {
+		return backend.Layer{
+			Name:          fmt.Sprintf("{ForeignNode[myelin_region_%d]}", idx),
+			Opaque:        true,
+			InputTensors:  ins,
+			OutputTensors: outs,
+		}
+	}
+	names := make([]string, 0, len(gr.Nodes))
+	for _, n := range gr.Nodes {
+		names = append(names, n.Name)
+	}
+	return backend.Layer{
+		Name:          strings.Join(names, " + "),
+		InputTensors:  ins,
+		OutputTensors: outs,
+	}
+}
+
+func trtReformats(rep *analysis.Rep, groups []*backend.Group) []backend.ReformatSpec {
+	var specs []backend.ReformatSpec
+	for i, in := range rep.Graph.Inputs {
+		specs = append(specs, backend.ReformatSpec{
+			BeforeGroup: 0,
+			Tensor:      in,
+			Alias:       in + "_rf",
+			Name:        fmt.Sprintf("Reformat_input_%d", i),
+		})
+	}
+	for i, out := range rep.Graph.Outputs {
+		specs = append(specs, backend.ReformatSpec{
+			BeforeGroup: len(groups),
+			Tensor:      out,
+			Alias:       out + "_rf",
+			Name:        fmt.Sprintf("Reformat_output_%d", i),
+		})
+	}
+	return specs
+}
+
+// MapLayers implements PRoof's TensorRT mapping strategy: reformat
+// layers register tensor aliases; named layers are parsed back into
+// original node sets; opaque Myelin regions are recovered by searching
+// the computational graph between their boundary tensors.
+func (TensorRT) MapLayers(e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, error) {
+	m := backend.Mapping{}
+	layers := e.Layers()
+	for _, l := range layers {
+		if l.IsReformat {
+			opt.SetTensorAlias(l.OutputTensors[0], l.InputTensors[0])
+			m[l.Name] = nil
+		}
+	}
+	for _, l := range layers {
+		if l.IsReformat {
+			continue
+		}
+		if l.Opaque {
+			nodes, err := opt.GetSubgraphOpsByIO(l.InputTensors, l.OutputTensors)
+			if err != nil {
+				return nil, fmt.Errorf("trtsim: mapping opaque region %q: %w", l.Name, err)
+			}
+			f, err := opt.SetFusedOp(l.Name, nodes)
+			if err != nil {
+				return nil, fmt.Errorf("trtsim: fusing %q: %w", l.Name, err)
+			}
+			m[l.Name] = &analysis.Layer{Fused: f}
+			continue
+		}
+		names := strings.Split(l.Name, " + ")
+		nodes, err := backend.NodesByName(opt, names)
+		if err != nil {
+			return nil, fmt.Errorf("trtsim: mapping %q: %w", l.Name, err)
+		}
+		layer, err := backend.FuseMapped(opt, l.Name, nodes)
+		if err != nil {
+			return nil, err
+		}
+		m[l.Name] = layer
+	}
+	return m, nil
+}

@@ -1,0 +1,388 @@
+// Package core orchestrates the full PRoof pipeline (Figure 1): model →
+// analysis representation → backend build → built-in-profiler latencies
+// → layer mapping → per-layer metrics (analytically predicted, or
+// measured via simulated hardware counters) → end-to-end and layer-wise
+// roofline analysis → report.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"proof/internal/analysis"
+	"proof/internal/backend"
+	_ "proof/internal/backend/ortsim" // register runtimes
+	_ "proof/internal/backend/ovsim"
+	_ "proof/internal/backend/trtsim"
+	"proof/internal/graph"
+	"proof/internal/graphops"
+	"proof/internal/hardware"
+	"proof/internal/models"
+	"proof/internal/ncusim"
+	"proof/internal/roofline"
+	"proof/internal/sim"
+)
+
+// Mode selects how per-layer FLOP and memory metrics are obtained.
+type Mode string
+
+const (
+	// ModePredicted uses PRoof's analytical model: only per-layer
+	// latencies come from the runtime's built-in profiler; FLOP and
+	// memory are predicted from the mapped model structure (§3.2).
+	ModePredicted Mode = "predicted"
+	// ModeMeasured uses the (simulated) hardware-counter profiler:
+	// FLOP and memory traffic come from per-kernel counters, with the
+	// tensor-core FLOP correction applied (§4.2). Adds large
+	// profiling overhead.
+	ModeMeasured Mode = "measured"
+)
+
+// Options configures one profiling run.
+type Options struct {
+	// Model is the zoo key ("resnet-50", ...). Ignored when Graph is
+	// set.
+	Model string
+	// Graph optionally supplies a pre-built model graph. It is
+	// modified in place (rebatching, dtype conversion).
+	Graph *graph.Graph
+	// Platform is the hardware key ("a100", ...).
+	Platform string
+	// Backend overrides the platform's default runtime.
+	Backend string
+	// Batch is the batch size (0 = platform default).
+	Batch int
+	// DType is the inference data type (invalid/zero = platform
+	// default).
+	DType graph.DataType
+	// Mode selects predicted vs measured metrics ("" = predicted).
+	Mode Mode
+	// Clocks overrides the platform clock configuration.
+	Clocks hardware.Clocks
+	// Seed varies the simulated run-to-run jitter.
+	Seed uint64
+	// MeasuredRoofline draws the roofline ceilings from the peak-test
+	// pseudo model instead of the platform constants.
+	MeasuredRoofline bool
+	// IgnoreSupport profiles even when the platform does not claim to
+	// support the model family.
+	IgnoreSupport bool
+}
+
+// KernelReport is one lowered kernel of a backend layer (the bottom
+// level of Figure 3's full-stack hierarchy).
+type KernelReport struct {
+	// Name is the kernel name as a system trace reports it.
+	Name string `json:"name"`
+	// Latency is the kernel's share of the layer latency.
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// LayerReport is the per-backend-layer profiling result.
+type LayerReport struct {
+	// Name is the backend layer name.
+	Name string `json:"name"`
+	// IsReformat marks runtime-inserted conversion layers.
+	IsReformat bool `json:"is_reformat,omitempty"`
+	// OriginalNodes are the model-design nodes this layer maps to
+	// (empty for reformats) — the backward mapping of §3.3.
+	OriginalNodes []string `json:"original_nodes,omitempty"`
+	// OpTypes are the distinct original operator types in the layer.
+	OpTypes []string `json:"op_types,omitempty"`
+	// Category tags the layer for chart coloring.
+	Category string `json:"category"`
+	// Point is the roofline point (latency, FLOP, bytes, AI, rates).
+	// Point.Bound classifies the layer's position against the
+	// roofline ridge (memory vs compute side).
+	Point roofline.Point `json:"point"`
+	// ExecutionBound reports what actually dominated the layer's
+	// simulated execution: "compute", "memory" or "overhead" (launch
+	// cost larger than both).
+	ExecutionBound string `json:"execution_bound,omitempty"`
+	// Kernels are the layer's lowered kernels with attributed
+	// latency — together with OriginalNodes this is the full-stack
+	// model-layer ↔ backend-layer ↔ kernel mapping of Figure 3.
+	Kernels []KernelReport `json:"kernels,omitempty"`
+}
+
+// Report is the complete profiling result of one run.
+type Report struct {
+	Model    string `json:"model"`
+	Platform string `json:"platform"`
+	Backend  string `json:"backend"`
+	Batch    int    `json:"batch"`
+	DType    string `json:"dtype"`
+	Mode     Mode   `json:"mode"`
+	// Roofline is the ceiling set used for analysis.
+	Roofline roofline.Model `json:"roofline"`
+	// EndToEnd is the whole-model roofline point (Figure 4).
+	EndToEnd roofline.Point `json:"end_to_end"`
+	// Layers is the layer-wise analysis (Figures 5, 6, 8).
+	Layers []LayerReport `json:"layers"`
+	// TotalLatency is the end-to-end inference latency.
+	TotalLatency time.Duration `json:"total_latency_ns"`
+	// Throughput is samples per second at the profiled batch size.
+	Throughput float64 `json:"throughput"`
+	// ProfilingOverhead is the counter-profiler replay cost (measured
+	// mode only) — Table 4's "Prof. time".
+	ProfilingOverhead time.Duration `json:"profiling_overhead_ns,omitempty"`
+	// UtilCompute/UtilMem are the aggregate utilizations of the run.
+	UtilCompute float64 `json:"util_compute"`
+	UtilMem     float64 `json:"util_mem"`
+	// PowerW is the estimated platform power draw during the run (0
+	// when the platform has no power model).
+	PowerW float64 `json:"power_w,omitempty"`
+	// NodeCount and ParamsM describe the profiled model.
+	NodeCount int     `json:"node_count"`
+	ParamsM   float64 `json:"params_m"`
+}
+
+// Profile runs the full PRoof pipeline.
+func Profile(opts Options) (*Report, error) {
+	plat, err := hardware.Get(opts.Platform)
+	if err != nil {
+		return nil, err
+	}
+	dt := opts.DType
+	if !dt.Valid() {
+		dt = plat.DefaultDType
+	}
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = plat.DefaultBatch
+	}
+	backendKey := opts.Backend
+	if backendKey == "" {
+		backendKey = plat.Runtime
+	}
+	be, err := backend.Get(backendKey)
+	if err != nil {
+		return nil, err
+	}
+
+	g := opts.Graph
+	modelName := opts.Model
+	if g == nil {
+		info, ok := models.Lookup(opts.Model)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown model %q", opts.Model)
+		}
+		if !opts.IgnoreSupport && !plat.Supports(info.Type) {
+			return nil, fmt.Errorf("core: platform %s does not support %s models (model %s failed to run in the paper's evaluation as well)",
+				plat.Key, info.Type, info.Key)
+		}
+		g, err = info.Build()
+		if err != nil {
+			return nil, err
+		}
+	} else if modelName == "" {
+		modelName = g.Name
+	}
+
+	if graphops.IsQuantized(g) {
+		// Explicitly quantized graphs (Q/DQ boundary nodes) keep
+		// their tensor types and run on the int8 math units.
+		dt = graph.Int8
+	} else {
+		g.ConvertFloatTensors(dt)
+	}
+	rep, err := analysis.NewRepWithBatch(g, batch)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := backend.Config{Platform: plat, DType: dt, Batch: batch, Clocks: opts.Clocks}
+	eng, err := be.Build(rep, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Built-in profiler: per-layer latencies (all the runtime gives).
+	prof, err := eng.Profile(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Layer mapping: reconstruct the fused structure from the public
+	// backend info.
+	opt := analysis.NewOptimizedRep(rep)
+	mapping, err := be.MapLayers(eng, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: layer mapping on %s: %w", backendKey, err)
+	}
+
+	// Roofline ceilings.
+	var rl roofline.Model
+	if opts.MeasuredRoofline {
+		rl, err = roofline.MeasuredModel(plat, dt, opts.Clocks, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rl = roofline.NewModel(plat, dt, opts.Clocks)
+	}
+
+	mode := opts.Mode
+	if mode == "" {
+		mode = ModePredicted
+	}
+
+	report := &Report{
+		Model:     modelName,
+		Platform:  plat.Key,
+		Backend:   backendKey,
+		Batch:     batch,
+		DType:     dt.String(),
+		Mode:      mode,
+		Roofline:  rl,
+		NodeCount: rep.NodeCount(),
+		ParamsM:   float64(g.ParamCount()) / 1e6,
+	}
+
+	// Measured metrics, when requested.
+	var measured map[string]ncusim.LayerMeasurement
+	if mode == ModeMeasured {
+		res, err := ncusim.Measure(eng, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		measured = make(map[string]ncusim.LayerMeasurement, len(res.Layers))
+		for _, lm := range res.Layers {
+			measured[lm.LayerName] = lm
+		}
+		report.ProfilingOverhead = res.ProfilingTime
+	}
+
+	timings := eng.Timings(opts.Seed)
+	lw := &roofline.LayerWise{Model: rl}
+	for i, bl := range eng.Layers() {
+		latency := prof.LayerLatency[bl.Name]
+		lr := LayerReport{Name: bl.Name, IsReformat: bl.IsReformat}
+		if i < len(timings) {
+			lr.ExecutionBound = timings[i].Bound
+		}
+
+		var flop, bytes int64
+		switch {
+		case mode == ModeMeasured:
+			lm := measured[bl.Name]
+			flop, bytes = lm.CorrectedFLOP, lm.Bytes
+		case bl.IsReformat:
+			// Predicted reformat traffic: one read + one write of
+			// the converted tensor.
+			if t := rep.Graph.Tensor(bl.InputTensors[0]); t != nil {
+				bytes = 2 * t.Bytes()
+			}
+		default:
+			layer := mapping[bl.Name]
+			if layer == nil {
+				return nil, fmt.Errorf("core: no mapping for backend layer %q", bl.Name)
+			}
+			c, err := opt.LayerCost(layer)
+			if err != nil {
+				return nil, err
+			}
+			flop, bytes = c.FLOP, c.MemoryBytes()
+		}
+
+		if layer := mapping[bl.Name]; layer != nil {
+			for _, n := range layer.OriginalNodes() {
+				lr.OriginalNodes = append(lr.OriginalNodes, n.Name)
+			}
+			lr.OpTypes = layer.OpTypes()
+			lr.Category = categorize(layer, rep.Graph)
+		} else {
+			lr.Category = "copy"
+		}
+
+		p := roofline.NewPoint(bl.Name, flop, bytes, latency, rl)
+		p.Category = lr.Category
+		lr.Point = p
+		for _, k := range bl.Kernels {
+			lr.Kernels = append(lr.Kernels, KernelReport{
+				Name:    k.Name,
+				Latency: time.Duration(float64(latency) * k.ShareOfLayer),
+			})
+		}
+		lw.Points = append(lw.Points, p)
+		report.Layers = append(report.Layers, lr)
+	}
+	lw.FillShares()
+	for i := range report.Layers {
+		report.Layers[i].Point.Share = lw.Points[i].Share
+	}
+
+	report.EndToEnd = lw.EndToEnd(modelName)
+	report.TotalLatency = prof.Total
+	if prof.Total > 0 {
+		report.Throughput = float64(batch) / prof.Total.Seconds()
+	}
+
+	// Aggregate utilization and power, as an external monitor (jtop)
+	// would observe them.
+	report.UtilCompute, report.UtilMem = sim.Utilization(timings)
+	if plat.Power != nil {
+		clk := opts.Clocks
+		if clk.GPUMHz == 0 && plat.Clocks != nil {
+			base := plat.DefaultClocks()
+			base.GPUCapacity = clk.GPUCapacity
+			base.CPUClusters = clk.CPUClusters
+			clk = base
+		}
+		// Activity model: a GPU executing kernels draws most of its
+		// load power whether the kernels are compute- or memory-
+		// bound; the compute fraction modulates the rest. Severe
+		// memory starvation (everything stalls on DRAM) is the only
+		// regime where draw collapses (Table 7 #6).
+		denom := report.UtilCompute + report.UtilMem
+		cf := 0.5
+		if denom > 0 {
+			cf = report.UtilCompute / denom
+		}
+		utilGPU := 0.78 + 0.22*cf
+		utilMem := 0.60 + 0.40*(1-cf)
+		if w, err := plat.EstimatePower(clk, utilGPU, utilMem); err == nil {
+			report.PowerW = w
+		}
+	}
+	return report, nil
+}
+
+// categorize tags a mapped layer for roofline chart coloring, matching
+// the paper's figures: depth-wise conv (Figures 5d, 8), point-wise
+// conv, other conv, MatMul-containing layers (Figure 5b), transpose and
+// data-copy layers (Figure 6).
+func categorize(layer *analysis.Layer, g *graph.Graph) string {
+	nodes := layer.OriginalNodes()
+	class := sim.ClassifyNodes(nodes, g)
+	switch class {
+	case sim.ClassGEMM:
+		return "matmul"
+	case sim.ClassDWConv:
+		return "dwconv"
+	case sim.ClassConv:
+		for _, n := range nodes {
+			if n.OpType != "Conv" {
+				continue
+			}
+			if w := g.Tensor(n.Inputs[1]); w != nil && w.Shape.Rank() == 4 &&
+				w.Shape[2] == 1 && w.Shape[3] == 1 {
+				return "pwconv"
+			}
+			return "conv"
+		}
+		return "conv"
+	case sim.ClassDataMovement:
+		for _, n := range nodes {
+			if n.OpType == "Transpose" {
+				return "transpose"
+			}
+		}
+		return "copy"
+	case sim.ClassMemCopy:
+		return "copy"
+	default:
+		return strings.ToLower(class.String())
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"proof/internal/hardware"
+	"proof/internal/models"
+	"proof/internal/parallel"
+)
+
+// PlatformResult is one row of a cross-platform sweep: the same model
+// profiled on one platform at its default configuration.
+type PlatformResult struct {
+	// Platform is the platform key.
+	Platform string `json:"platform"`
+	// Supported is false when the platform cannot run the model (the
+	// coverage holes of Figure 4); the remaining fields are zero.
+	Supported bool `json:"supported"`
+	// Reason explains a skip.
+	Reason string `json:"reason,omitempty"`
+	// Batch and DType echo the platform defaults used.
+	Batch int    `json:"batch,omitempty"`
+	DType string `json:"dtype,omitempty"`
+	// Latency and Throughput summarize performance.
+	Latency    time.Duration `json:"latency_ns,omitempty"`
+	Throughput float64       `json:"throughput,omitempty"`
+	// AttainedFLOPS and Bound characterize the roofline position.
+	AttainedFLOPS float64 `json:"attained_flops,omitempty"`
+	Bound         string  `json:"bound,omitempty"`
+}
+
+// PlatformSweep profiles a model across every platform (the deployment
+// question behind Figure 4: where does this model run best?). Results
+// are ordered by throughput, descending, with unsupported platforms
+// last.
+func PlatformSweep(model string, mode Mode) ([]PlatformResult, error) {
+	info, ok := models.Lookup(model)
+	if !ok {
+		return nil, errUnknownModel(model)
+	}
+	platforms := hardware.List()
+	results, err := parallel.Map(platforms, 0, func(p *hardware.Platform) (PlatformResult, error) {
+		if !p.Supports(info.Type) {
+			return PlatformResult{
+				Platform: p.Key,
+				Reason:   "platform does not support " + info.Type + " models",
+			}, nil
+		}
+		r, err := Profile(Options{Model: model, Platform: p.Key, Mode: mode})
+		if err != nil {
+			return PlatformResult{Platform: p.Key, Reason: err.Error()}, nil
+		}
+		return PlatformResult{
+			Platform:      p.Key,
+			Supported:     true,
+			Batch:         r.Batch,
+			DType:         r.DType,
+			Latency:       r.TotalLatency,
+			Throughput:    r.Throughput,
+			AttainedFLOPS: r.EndToEnd.FLOPS,
+			Bound:         r.EndToEnd.Bound,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Supported != results[j].Supported {
+			return results[i].Supported
+		}
+		return results[i].Throughput > results[j].Throughput
+	})
+	return results, nil
+}
+
+// errUnknownModel mirrors Profile's unknown-model error for sweeps.
+func errUnknownModel(model string) error {
+	return &unknownModelError{model}
+}
+
+type unknownModelError struct{ model string }
+
+func (e *unknownModelError) Error() string {
+	return "core: unknown model \"" + e.model + "\""
+}

@@ -1,0 +1,250 @@
+package dataviewer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"proof/internal/roofline"
+)
+
+// categoryColors maps layer categories to chart colors, mirroring the
+// paper's figures: depth-wise conv orange/blue, point-wise conv and
+// MatMul green, transposes blue, copies green, other convs red.
+var categoryColors = map[string]string{
+	"conv":        "#d62728",
+	"pwconv":      "#d62728",
+	"dwconv":      "#ff7f0e",
+	"matmul":      "#2ca02c",
+	"transpose":   "#1f77b4",
+	"copy":        "#2ca02c",
+	"datamove":    "#1f77b4",
+	"elementwise": "#9467bd",
+	"norm":        "#9467bd",
+	"softmax":     "#8c564b",
+	"reduction":   "#9467bd",
+	"embedding":   "#e377c2",
+	"meta":        "#7f7f7f",
+}
+
+func colorFor(category string) string {
+	if c, ok := categoryColors[category]; ok {
+		return c
+	}
+	return "#555555"
+}
+
+// ChartOptions configures a roofline chart rendering.
+type ChartOptions struct {
+	// Title is drawn at the top.
+	Title string
+	// Width/Height are the SVG dimensions (0 = defaults).
+	Width, Height int
+	// ShowLabels draws point names next to points (end-to-end charts
+	// with few points).
+	ShowLabels bool
+	// ExtraBWLines adds additional bandwidth ceilings (Figure 8).
+	ExtraBWLines []roofline.BWLine
+}
+
+// RooflineSVG renders a log-log roofline chart with the ceiling, the
+// given points, and optional extra bandwidth lines.
+func RooflineSVG(m roofline.Model, points []roofline.Point, opts ChartOptions) string {
+	w, h := opts.Width, opts.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 480
+	}
+	const margin = 60
+	s := newSVG(w, h)
+
+	// Data ranges padded around points and ridge.
+	minAI, maxAI := 0.1, m.RidgeAI()*10
+	minF, maxF := m.PeakFLOPS/1e5, m.PeakFLOPS*2
+	for _, p := range points {
+		if p.AI > 0 {
+			minAI = math.Min(minAI, p.AI/2)
+			maxAI = math.Max(maxAI, p.AI*2)
+		}
+		if p.FLOPS > 0 {
+			minF = math.Min(minF, p.FLOPS/2)
+			maxF = math.Max(maxF, p.FLOPS*2)
+		}
+	}
+	xs := logScale{min: minAI, max: maxAI, lo: margin, hi: float64(w - 20)}
+	ys := logScale{min: minF, max: maxF, lo: float64(h - margin), hi: 30}
+
+	// Grid and axes.
+	for _, d := range xs.decades() {
+		x := xs.pos(d)
+		s.line(x, ys.lo, x, ys.hi, "#eeeeee", 1, "")
+		s.text(x, ys.lo+16, 10, "middle", "#333", siFormat(d))
+	}
+	for _, d := range ys.decades() {
+		y := ys.pos(d)
+		s.line(xs.lo, y, xs.hi, y, "#eeeeee", 1, "")
+		s.text(xs.lo-4, y+3, 10, "end", "#333", siFormat(d))
+	}
+	s.line(xs.lo, ys.lo, xs.hi, ys.lo, "#333", 1.5, "")
+	s.line(xs.lo, ys.lo, xs.lo, ys.hi, "#333", 1.5, "")
+	s.text(float64(w)/2, float64(h)-10, 12, "middle", "#000", "Arithmetic intensity (FLOP/byte)")
+	s.text(14, 16, 12, "start", "#000", "Attained FLOP/s")
+
+	// Roofline ceiling: bandwidth slope up to the ridge, then flat.
+	drawCeiling := func(bw float64, color string, dash string, label string) {
+		ridge := m.PeakFLOPS / bw
+		x0, x1 := minAI, ridge
+		// Slope segment: piecewise in pixel space (log-log straight).
+		s.line(xs.pos(x0), ys.pos(x0*bw), xs.pos(x1), ys.pos(x1*bw), color, 2, dash)
+		if label != "" {
+			s.text(xs.pos(x0)+4, ys.pos(x0*bw)-6, 10, "start", color, label)
+		}
+	}
+	drawCeiling(m.PeakBW, "#000000", "", fmt.Sprintf("%s/s", siFormat(m.PeakBW)+"B"))
+	s.line(xs.pos(m.RidgeAI()), ys.pos(m.PeakFLOPS), xs.pos(maxAI), ys.pos(m.PeakFLOPS), "#000000", 2, "")
+	s.text(xs.pos(maxAI)-4, ys.pos(m.PeakFLOPS)-6, 10, "end",
+		"#000", fmt.Sprintf("peak %sFLOP/s", siFormat(m.PeakFLOPS)))
+
+	lines := append(append([]roofline.BWLine(nil), m.ExtraBWLines...), opts.ExtraBWLines...)
+	extraColors := []string{"#e6b800", "#cc0000", "#8800cc"}
+	for i, l := range lines {
+		drawCeiling(l.BW, extraColors[i%len(extraColors)], "6,4", l.Label)
+	}
+
+	// Points: radius fixed, opacity from latency share.
+	for _, p := range points {
+		if p.AI <= 0 || p.FLOPS <= 0 {
+			continue
+		}
+		op := 0.25 + 0.75*math.Min(1, p.Share*8)
+		if p.Share == 0 {
+			op = 0.9
+		}
+		title := fmt.Sprintf("%s\nAI=%.2f FLOP/s=%s share=%.1f%%", p.Name, p.AI, siFormat(p.FLOPS), p.Share*100)
+		s.circle(xs.pos(p.AI), ys.pos(p.FLOPS), 5, colorFor(p.Category), op, title)
+		if opts.ShowLabels {
+			s.text(xs.pos(p.AI)+7, ys.pos(p.FLOPS)+3, 9, "start", "#333", p.Name)
+		}
+	}
+
+	if opts.Title != "" {
+		s.text(float64(w)/2, 18, 14, "middle", "#000", opts.Title)
+	}
+	drawLegend(s, points, float64(w-150), 40)
+	return s.String()
+}
+
+func drawLegend(s *svgBuilder, points []roofline.Point, x, y float64) {
+	seen := map[string]bool{}
+	var cats []string
+	for _, p := range points {
+		if p.Category != "" && !seen[p.Category] {
+			seen[p.Category] = true
+			cats = append(cats, p.Category)
+		}
+	}
+	sort.Strings(cats)
+	for i, c := range cats {
+		cy := y + float64(i)*16
+		s.circle(x, cy, 5, colorFor(c), 0.9, "")
+		s.text(x+10, cy+4, 10, "start", "#333", c)
+	}
+}
+
+// LatencyHistogramSVG renders the latency distribution of layers along
+// one roofline axis (the side bar charts of Figure 6). axis is "ai" or
+// "flops".
+func LatencyHistogramSVG(points []roofline.Point, axis, title string, width, height int) string {
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 180
+	}
+	const margin = 60
+	const bins = 24
+
+	value := func(p roofline.Point) float64 {
+		if axis == "flops" {
+			return p.FLOPS
+		}
+		return p.AI
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		v := value(p)
+		if v > 0 {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if math.IsInf(minV, 1) {
+		minV, maxV = 0.1, 10
+	}
+	if minV == maxV {
+		maxV = minV * 10
+	}
+
+	// Accumulate latency per log bin, stacked by category.
+	type stack map[string]float64
+	hist := make([]stack, bins)
+	for i := range hist {
+		hist[i] = stack{}
+	}
+	logMin, logMax := math.Log10(minV), math.Log10(maxV)
+	var maxBin float64
+	for _, p := range points {
+		v := value(p)
+		if v <= 0 {
+			continue
+		}
+		b := int((math.Log10(v) - logMin) / (logMax - logMin) * float64(bins-1))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		hist[b][p.Category] += p.Latency.Seconds()
+	}
+	for _, st := range hist {
+		var sum float64
+		for _, v := range st {
+			sum += v
+		}
+		maxBin = math.Max(maxBin, sum)
+	}
+
+	s := newSVG(width, height)
+	xs := logScale{min: minV, max: maxV, lo: margin, hi: float64(width - 20)}
+	baseY := float64(height - 30)
+	plotH := baseY - 24
+	binW := (xs.hi - xs.lo) / bins
+	for i, st := range hist {
+		x := xs.lo + float64(i)*binW
+		y := baseY
+		cats := make([]string, 0, len(st))
+		for c := range st {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		for _, c := range cats {
+			h := 0.0
+			if maxBin > 0 {
+				h = st[c] / maxBin * plotH
+			}
+			y -= h
+			s.rect(x+1, y, binW-2, h, colorFor(c), 0.85)
+		}
+	}
+	for _, d := range xs.decades() {
+		x := xs.pos(d)
+		s.line(x, baseY, x, baseY+4, "#333", 1, "")
+		s.text(x, baseY+16, 10, "middle", "#333", siFormat(d))
+	}
+	s.line(xs.lo, baseY, xs.hi, baseY, "#333", 1.5, "")
+	s.text(float64(width)/2, 14, 12, "middle", "#000", title)
+	return s.String()
+}

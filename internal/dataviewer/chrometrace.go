@@ -1,0 +1,63 @@
+package dataviewer
+
+import (
+	"encoding/json"
+	"io"
+
+	"proof/internal/core"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Durations are microseconds.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the profiled timeline in the Chrome
+// trace-event format: backend layers on one track and their kernels on
+// a second, so the full-stack hierarchy can be explored in
+// chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, r *core.Report) error {
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]string{"name": r.Model + " on " + r.Platform},
+	})
+	cursor := 0.0
+	for _, l := range r.Layers {
+		dur := float64(l.Point.Latency) / 1e3 // ns -> us
+		args := map[string]string{
+			"category": l.Category,
+			"bound":    l.Point.Bound,
+		}
+		if len(l.OriginalNodes) > 0 && len(l.OriginalNodes) <= 12 {
+			args["model_layers"] = joinNodes(l.OriginalNodes)
+		}
+		events = append(events, chromeEvent{
+			Name: l.Name, Cat: "backend_layer", Phase: "X",
+			TS: cursor, Dur: dur, PID: 1, TID: 1, Args: args,
+		})
+		kcursor := cursor
+		for _, k := range l.Kernels {
+			kdur := float64(k.Latency) / 1e3
+			events = append(events, chromeEvent{
+				Name: k.Name, Cat: "kernel", Phase: "X",
+				TS: kcursor, Dur: kdur, PID: 1, TID: 2,
+			})
+			kcursor += kdur
+		}
+		cursor += dur
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

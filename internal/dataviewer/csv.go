@@ -1,0 +1,111 @@
+package dataviewer
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"proof/internal/core"
+)
+
+// WriteCSV exports the per-layer profiling results as CSV for
+// spreadsheet or pandas post-processing.
+func WriteCSV(w io.Writer, r *core.Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"layer", "category", "is_reformat", "latency_us", "share",
+		"flop", "bytes", "flops", "bandwidth", "ai", "bound", "original_nodes",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, l := range r.Layers {
+		row := []string{
+			l.Name,
+			l.Category,
+			strconv.FormatBool(l.IsReformat),
+			fmt.Sprintf("%.3f", float64(l.Point.Latency)/1e3),
+			fmt.Sprintf("%.6f", l.Point.Share),
+			strconv.FormatInt(l.Point.FLOP, 10),
+			strconv.FormatInt(l.Point.Bytes, 10),
+			fmt.Sprintf("%.3e", l.Point.FLOPS),
+			fmt.Sprintf("%.3e", l.Point.Bandwidth),
+			fmt.Sprintf("%.4f", l.Point.AI),
+			l.Point.Bound,
+			joinNodes(l.OriginalNodes),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func joinNodes(nodes []string) string {
+	out := ""
+	for i, n := range nodes {
+		if i > 0 {
+			out += ";"
+		}
+		out += n
+	}
+	return out
+}
+
+// CompareReports renders a side-by-side summary of two reports (e.g.
+// original vs modified model, or two clock configurations) — the
+// textual counterpart of Figure 6's paired charts.
+func CompareReports(w io.Writer, label1 string, r1 *core.Report, label2 string, r2 *core.Report) {
+	fmt.Fprintf(w, "Comparison: %s vs %s\n", label1, label2)
+	row := func(name, v1, v2 string) {
+		fmt.Fprintf(w, "  %-26s %18s %18s\n", name, v1, v2)
+	}
+	row("", label1, label2)
+	row("latency", formatDuration(r1.TotalLatency), formatDuration(r2.TotalLatency))
+	row("throughput (samples/s)", fmt.Sprintf("%.0f", r1.Throughput), fmt.Sprintf("%.0f", r2.Throughput))
+	row("GFLOP", fmt.Sprintf("%.3f", float64(r1.EndToEnd.FLOP)/1e9), fmt.Sprintf("%.3f", float64(r2.EndToEnd.FLOP)/1e9))
+	row("memory (MB)", fmt.Sprintf("%.1f", float64(r1.EndToEnd.Bytes)/1e6), fmt.Sprintf("%.1f", float64(r2.EndToEnd.Bytes)/1e6))
+	row("attained FLOP/s", siFormat(r1.EndToEnd.FLOPS), siFormat(r2.EndToEnd.FLOPS))
+	row("attained BW (B/s)", siFormat(r1.EndToEnd.Bandwidth), siFormat(r2.EndToEnd.Bandwidth))
+	row("arithmetic intensity", fmt.Sprintf("%.1f", r1.EndToEnd.AI), fmt.Sprintf("%.1f", r2.EndToEnd.AI))
+	row("bound", r1.EndToEnd.Bound, r2.EndToEnd.Bound)
+	if r1.TotalLatency > 0 && r2.TotalLatency > 0 {
+		fmt.Fprintf(w, "  speedup (%s -> %s): %.2fx\n", label1, label2,
+			float64(r1.TotalLatency)/float64(r2.TotalLatency))
+	}
+
+	// Category share deltas.
+	share := func(r *core.Report) map[string]float64 {
+		out := map[string]float64{}
+		for _, l := range r.Layers {
+			out[l.Category] += l.Point.Share
+		}
+		return out
+	}
+	s1, s2 := share(r1), share(r2)
+	seen := map[string]bool{}
+	fmt.Fprintf(w, "  latency share by category:\n")
+	for _, m := range []map[string]float64{s1, s2} {
+		for c := range m {
+			seen[c] = true
+		}
+	}
+	for _, c := range sortedKeys(seen) {
+		fmt.Fprintf(w, "    %-14s %6.1f%% -> %5.1f%%\n", c, s1[c]*100, s2[c]*100)
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

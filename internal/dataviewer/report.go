@@ -1,0 +1,141 @@
+package dataviewer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"proof/internal/core"
+	"proof/internal/roofline"
+)
+
+// WriteText renders a report as an ASCII summary plus a per-layer table
+// (top layers by latency share) — the CLI's default output.
+func WriteText(w io.Writer, r *core.Report, topN int) {
+	fmt.Fprintf(w, "PRoof report: %s on %s (%s, %s, batch %d, %s mode)\n",
+		r.Model, r.Platform, r.Backend, r.DType, r.Batch, r.Mode)
+	fmt.Fprintf(w, "  model: %d nodes, %.1fM params\n", r.NodeCount, r.ParamsM)
+	fmt.Fprintf(w, "  roofline: peak %sFLOP/s, BW %sB/s, ridge AI %.1f\n",
+		siFormat(r.Roofline.PeakFLOPS), siFormat(r.Roofline.PeakBW), r.Roofline.RidgeAI())
+	fmt.Fprintf(w, "  latency: %s   throughput: %.0f samples/s\n",
+		formatDuration(r.TotalLatency), r.Throughput)
+	fmt.Fprintf(w, "  end-to-end: %.3f GFLOP, %.1f MB traffic, AI %.1f, attained %sFLOP/s (%s-bound), BW %sB/s\n",
+		float64(r.EndToEnd.FLOP)/1e9, float64(r.EndToEnd.Bytes)/1e6, r.EndToEnd.AI,
+		siFormat(r.EndToEnd.FLOPS), r.EndToEnd.Bound, siFormat(r.EndToEnd.Bandwidth))
+	if r.ProfilingOverhead > 0 {
+		fmt.Fprintf(w, "  counter-profiling overhead: %s\n", formatDuration(r.ProfilingOverhead))
+	}
+	if r.PowerW > 0 {
+		fmt.Fprintf(w, "  estimated power: %.1f W\n", r.PowerW)
+	}
+
+	fmt.Fprintf(w, "\nLatency share by category:\n")
+	type catShare struct {
+		cat   string
+		share float64
+	}
+	byCat := map[string]float64{}
+	for _, l := range r.Layers {
+		byCat[l.Category] += l.Point.Share
+	}
+	var cats []catShare
+	for c, s := range byCat {
+		cats = append(cats, catShare{c, s})
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i].share > cats[j].share })
+	for _, c := range cats {
+		fmt.Fprintf(w, "  %-12s %5.1f%%  %s\n", c.cat, c.share*100, bar(c.share, 40))
+	}
+
+	if topN <= 0 {
+		topN = 15
+	}
+	layers := append([]core.LayerReport(nil), r.Layers...)
+	sort.Slice(layers, func(i, j int) bool { return layers[i].Point.Share > layers[j].Point.Share })
+	if len(layers) > topN {
+		layers = layers[:topN]
+	}
+	fmt.Fprintf(w, "\nTop %d layers by latency:\n", len(layers))
+	fmt.Fprintf(w, "  %-44s %-10s %9s %7s %10s %10s %6s\n",
+		"layer", "category", "latency", "share", "FLOP/s", "BW", "AI")
+	for _, l := range layers {
+		fmt.Fprintf(w, "  %-44.44s %-10s %9s %6.1f%% %10s %9sB %6.1f\n",
+			l.Name, l.Category, formatDuration(l.Point.Latency), l.Point.Share*100,
+			siFormat(l.Point.FLOPS), siFormat(l.Point.Bandwidth), l.Point.AI)
+	}
+}
+
+func bar(frac float64, width int) string {
+	n := int(frac * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/1e6)
+	}
+	return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+}
+
+// ReportHTML renders a self-contained HTML page with the layer-wise
+// roofline chart, latency histograms and the layer table.
+func ReportHTML(r *core.Report) string {
+	points := make([]roofline.Point, 0, len(r.Layers))
+	for _, l := range r.Layers {
+		points = append(points, l.Point)
+	}
+	chart := RooflineSVG(r.Roofline, points, ChartOptions{
+		Title: fmt.Sprintf("%s on %s — layer-wise roofline", r.Model, r.Platform),
+	})
+	histAI := LatencyHistogramSVG(points, "ai", "Latency distribution vs arithmetic intensity", 720, 170)
+	histF := LatencyHistogramSVG(points, "flops", "Latency distribution vs attained FLOP/s", 720, 170)
+	e2e := RooflineSVG(r.Roofline, []roofline.Point{r.EndToEnd}, ChartOptions{
+		Title: "End-to-end roofline", ShowLabels: true, Height: 320,
+	})
+
+	var rows strings.Builder
+	for _, l := range r.Layers {
+		fmt.Fprintf(&rows, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%.1f%%</td><td>%s</td><td>%sB/s</td><td>%.1f</td><td>%s</td></tr>\n",
+			escape(l.Name), escape(l.Category), formatDuration(l.Point.Latency), l.Point.Share*100,
+			siFormat(l.Point.FLOPS), siFormat(l.Point.Bandwidth), l.Point.AI, l.Point.Bound)
+	}
+
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>PRoof — %s on %s</title>
+<style>
+body { font-family: sans-serif; margin: 24px; color: #222; }
+table { border-collapse: collapse; font-size: 13px; }
+td, th { border: 1px solid #ccc; padding: 3px 8px; text-align: left; }
+th { background: #f5f5f5; }
+.meta { color: #555; }
+</style></head>
+<body>
+<h1>PRoof report: %s on %s</h1>
+<p class="meta">backend %s · dtype %s · batch %d · %s mode · latency %s · throughput %.0f samples/s</p>
+%s
+%s
+%s
+%s
+<h2>Backend layers</h2>
+<table><tr><th>layer</th><th>category</th><th>latency</th><th>share</th><th>FLOP/s</th><th>bandwidth</th><th>AI</th><th>bound</th></tr>
+%s</table>
+</body></html>`,
+		escape(r.Model), escape(r.Platform), escape(r.Model), escape(r.Platform),
+		escape(r.Backend), escape(r.DType), r.Batch, r.Mode,
+		formatDuration(r.TotalLatency), r.Throughput,
+		e2e, chart, histAI, histF, rows.String())
+}
+
+// MultiModelRooflineSVG renders a Figure-4-style end-to-end roofline
+// with one labeled point per model.
+func MultiModelRooflineSVG(m roofline.Model, points []roofline.Point, title string) string {
+	return RooflineSVG(m, points, ChartOptions{Title: title, ShowLabels: true})
+}

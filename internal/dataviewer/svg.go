@@ -1,0 +1,112 @@
+// Package dataviewer renders PRoof profiling results for humans: ASCII
+// tables, standalone SVG roofline charts (log-log, with ceilings,
+// category-colored points whose opacity encodes latency share, and
+// optional extra bandwidth lines as in Figure 8), latency-distribution
+// bar charts (Figure 6), and a self-contained HTML report.
+package dataviewer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgBuilder accumulates SVG elements.
+type svgBuilder struct {
+	w, h int
+	body strings.Builder
+}
+
+func newSVG(w, h int) *svgBuilder {
+	return &svgBuilder{w: w, h: h}
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width float64, dash string) {
+	dashAttr := ""
+	if dash != "" {
+		dashAttr = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+	}
+	fmt.Fprintf(&s.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"%s/>`+"\n",
+		x1, y1, x2, y2, stroke, width, dashAttr)
+}
+
+func (s *svgBuilder) circle(cx, cy, r float64, fill string, opacity float64, title string) {
+	fmt.Fprintf(&s.body, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="%.2f">`,
+		cx, cy, r, fill, opacity)
+	if title != "" {
+		fmt.Fprintf(&s.body, "<title>%s</title>", escape(title))
+	}
+	s.body.WriteString("</circle>\n")
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, fill string, opacity float64) {
+	fmt.Fprintf(&s.body, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="%.2f"/>`+"\n",
+		x, y, w, h, fill, opacity)
+}
+
+func (s *svgBuilder) text(x, y float64, size int, anchor, fill, content string) {
+	fmt.Fprintf(&s.body, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+		x, y, size, anchor, fill, escape(content))
+}
+
+func (s *svgBuilder) String() string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">
+<rect width="%d" height="%d" fill="white"/>
+%s</svg>`, s.w, s.h, s.w, s.h, s.w, s.h, s.body.String())
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// logScale maps a value into pixel space on a log10 axis.
+type logScale struct {
+	min, max float64 // data range
+	lo, hi   float64 // pixel range
+}
+
+func (sc logScale) pos(v float64) float64 {
+	if v <= 0 {
+		v = sc.min
+	}
+	f := (math.Log10(v) - math.Log10(sc.min)) / (math.Log10(sc.max) - math.Log10(sc.min))
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return sc.lo + f*(sc.hi-sc.lo)
+}
+
+// decades returns the powers of ten covering [min, max].
+func (sc logScale) decades() []float64 {
+	var out []float64
+	for e := math.Floor(math.Log10(sc.min)); e <= math.Ceil(math.Log10(sc.max)); e++ {
+		out = append(out, math.Pow(10, e))
+	}
+	return out
+}
+
+// siFormat renders a value with an SI suffix (1.5e12 -> "1.5T").
+func siFormat(v float64) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e12:
+		return trimZero(fmt.Sprintf("%.1fT", v/1e12))
+	case abs >= 1e9:
+		return trimZero(fmt.Sprintf("%.1fG", v/1e9))
+	case abs >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", v/1e6))
+	case abs >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fk", v/1e3))
+	case abs >= 1:
+		return trimZero(fmt.Sprintf("%.1f", v))
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func trimZero(s string) string {
+	return strings.Replace(s, ".0", "", 1)
+}

@@ -1,0 +1,53 @@
+package dataviewer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"proof/internal/core"
+)
+
+// WriteFullStackTrace renders the Figure 3 hierarchy for every backend
+// layer: the conceptual model-design layers on top, the runtime's
+// backend layer in the middle (with its latency and roofline numbers),
+// and the lowered kernels at the bottom. The mapping is bidirectional:
+// reading upward attributes a kernel's time to a model layer; reading
+// downward shows how a model layer was compiled.
+func WriteFullStackTrace(w io.Writer, r *core.Report, maxLayers int) {
+	fmt.Fprintf(w, "Full-stack trace: %s on %s (%s)\n", r.Model, r.Platform, r.Backend)
+	fmt.Fprintf(w, "model design layer(s)  ->  backend layer  ->  kernels\n")
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	count := 0
+	for _, l := range r.Layers {
+		if maxLayers > 0 && count >= maxLayers {
+			fmt.Fprintf(w, "... (%d more backend layers)\n", len(r.Layers)-count)
+			return
+		}
+		count++
+		if l.IsReformat {
+			fmt.Fprintf(w, "(runtime-inserted)\n")
+		} else {
+			fmt.Fprintf(w, "%s\n", strings.Join(l.OriginalNodes, ", "))
+		}
+		fmt.Fprintf(w, "  └─ %s   [%s, %s, share %.1f%%]\n",
+			l.Name, formatDuration(l.Point.Latency), l.Category, l.Point.Share*100)
+		for _, k := range l.Kernels {
+			fmt.Fprintf(w, "      └─ %s   [%s]\n", k.Name, formatDuration(k.Latency))
+		}
+	}
+}
+
+// AttributeKernel resolves a kernel name back to the model-design
+// layers responsible for it — the upward direction of the Figure 3
+// mapping (what NCU alone cannot do, §4.5).
+func AttributeKernel(r *core.Report, kernelName string) (modelLayers []string, backendLayer string, ok bool) {
+	for _, l := range r.Layers {
+		for _, k := range l.Kernels {
+			if k.Name == kernelName {
+				return l.OriginalNodes, l.Name, true
+			}
+		}
+	}
+	return nil, "", false
+}

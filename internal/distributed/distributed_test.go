@@ -1,0 +1,81 @@
+package distributed
+
+import (
+	"testing"
+)
+
+func TestProfileDataParallel(t *testing.T) {
+	r, err := Profile(Options{
+		Model: "resnet-50", Platform: "a100", Devices: 4, GlobalBatch: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerDeviceBatch != 32 {
+		t.Errorf("per-device batch = %d", r.PerDeviceBatch)
+	}
+	if r.TransferTime <= 0 {
+		t.Error("host transfer time must be positive")
+	}
+	if r.TotalLatency <= r.DeviceReport.TotalLatency {
+		t.Error("total latency must include transfers")
+	}
+	if r.Throughput <= 0 {
+		t.Error("throughput must be positive")
+	}
+}
+
+func TestDistributedThroughputScales(t *testing.T) {
+	one, err := Profile(Options{Model: "resnet-50", Platform: "a100", Devices: 1, GlobalBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Profile(Options{Model: "resnet-50", Platform: "a100", Devices: 4, GlobalBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Throughput <= one.Throughput {
+		t.Errorf("4 devices (%.0f/s) should out-run 1 (%.0f/s)", four.Throughput, one.Throughput)
+	}
+	// But not perfectly: host link + small-batch inefficiency.
+	if four.Throughput >= 4*one.Throughput {
+		t.Error("scaling cannot be super-linear")
+	}
+}
+
+func TestScalingCurve(t *testing.T) {
+	points, err := ScalingCurve(Options{Model: "resnet-50", Platform: "a100", GlobalBatch: 256},
+		[]int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Efficiency < 0.99 || points[0].Efficiency > 1.01 {
+		t.Errorf("single-device efficiency = %.2f, want 1.0", points[0].Efficiency)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Efficiency > points[i-1].Efficiency+1e-9 {
+			t.Errorf("efficiency must not increase with device count: %+v", points)
+		}
+		if points[i].Throughput < points[i-1].Throughput {
+			t.Errorf("throughput should still grow with devices at this batch: %+v", points)
+		}
+	}
+}
+
+func TestDistributedErrors(t *testing.T) {
+	if _, err := Profile(Options{Model: "resnet-50", Platform: "a100", Devices: 0, GlobalBatch: 8}); err == nil {
+		t.Error("zero devices must error")
+	}
+	if _, err := Profile(Options{Model: "resnet-50", Platform: "a100", Devices: 3, GlobalBatch: 8}); err == nil {
+		t.Error("indivisible batch must error")
+	}
+	if _, err := Profile(Options{Model: "resnet-50", Platform: "a100", Devices: 16, GlobalBatch: 8}); err == nil {
+		t.Error("batch smaller than devices must error")
+	}
+	if _, err := Profile(Options{Model: "nope", Platform: "a100", Devices: 1, GlobalBatch: 8}); err == nil {
+		t.Error("unknown model must error")
+	}
+}

@@ -1,0 +1,112 @@
+package graph
+
+import "fmt"
+
+// AttrKind identifies the payload type of an Attribute.
+type AttrKind int
+
+const (
+	// AttrInvalid is the zero value.
+	AttrInvalid AttrKind = iota
+	// AttrInt holds a single integer.
+	AttrInt
+	// AttrInts holds an integer list.
+	AttrInts
+	// AttrFloat holds a single float64.
+	AttrFloat
+	// AttrString holds a string.
+	AttrString
+)
+
+// Attribute is a typed node attribute, mirroring ONNX node attributes
+// (kernel_shape, strides, pads, axis, epsilon, ...).
+type Attribute struct {
+	Kind AttrKind `json:"kind"`
+	I    int      `json:"i,omitempty"`
+	Ints []int    `json:"ints,omitempty"`
+	F    float64  `json:"f,omitempty"`
+	S    string   `json:"s,omitempty"`
+}
+
+// IntAttr builds an integer attribute.
+func IntAttr(v int) Attribute { return Attribute{Kind: AttrInt, I: v} }
+
+// IntsAttr builds an integer-list attribute.
+func IntsAttr(v ...int) Attribute {
+	c := make([]int, len(v))
+	copy(c, v)
+	return Attribute{Kind: AttrInts, Ints: c}
+}
+
+// FloatAttr builds a float attribute.
+func FloatAttr(v float64) Attribute { return Attribute{Kind: AttrFloat, F: v} }
+
+// StringAttr builds a string attribute.
+func StringAttr(v string) Attribute { return Attribute{Kind: AttrString, S: v} }
+
+// Attrs is the attribute map of a node.
+type Attrs map[string]Attribute
+
+// Int returns the named integer attribute or def when absent.
+func (a Attrs) Int(name string, def int) int {
+	if v, ok := a[name]; ok && v.Kind == AttrInt {
+		return v.I
+	}
+	return def
+}
+
+// Ints returns the named integer-list attribute or def when absent. The
+// returned slice must not be modified.
+func (a Attrs) Ints(name string, def []int) []int {
+	if v, ok := a[name]; ok && v.Kind == AttrInts {
+		return v.Ints
+	}
+	return def
+}
+
+// Float returns the named float attribute or def when absent.
+func (a Attrs) Float(name string, def float64) float64 {
+	if v, ok := a[name]; ok && v.Kind == AttrFloat {
+		return v.F
+	}
+	return def
+}
+
+// String returns the named string attribute or def when absent.
+func (a Attrs) String(name string, def string) string {
+	if v, ok := a[name]; ok && v.Kind == AttrString {
+		return v.S
+	}
+	return def
+}
+
+// Clone deep-copies the attribute map.
+func (a Attrs) Clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	c := make(Attrs, len(a))
+	for k, v := range a {
+		if v.Kind == AttrInts {
+			ints := make([]int, len(v.Ints))
+			copy(ints, v.Ints)
+			v.Ints = ints
+		}
+		c[k] = v
+	}
+	return c
+}
+
+func (a Attribute) String() string {
+	switch a.Kind {
+	case AttrInt:
+		return fmt.Sprintf("%d", a.I)
+	case AttrInts:
+		return fmt.Sprintf("%v", a.Ints)
+	case AttrFloat:
+		return fmt.Sprintf("%g", a.F)
+	case AttrString:
+		return fmt.Sprintf("%q", a.S)
+	}
+	return "<invalid>"
+}

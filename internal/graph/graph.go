@@ -1,0 +1,372 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tensor describes one named tensor in the graph: either a graph input, a
+// parameter (ONNX initializer — weights, biases), or an intermediate
+// activation. Tensor contents are not stored; PRoof's analysis only needs
+// shapes and element types.
+type Tensor struct {
+	Name  string   `json:"name"`
+	DType DataType `json:"dtype"`
+	Shape Shape    `json:"shape"`
+	// Param marks parameter tensors (weights). Parameter bytes are
+	// counted once per inference in the memory-access model (Eq. 1),
+	// while activations scale with batch size.
+	Param bool `json:"param,omitempty"`
+	// IntData optionally carries the value of small constant integer
+	// tensors (Gather indices, Reshape shape inputs, ...). Shape
+	// inference propagates these values through shape-computation
+	// chains (Shape -> Gather -> Concat -> Reshape), exactly like
+	// ONNX shape inference with partial data propagation.
+	IntData []int64 `json:"int_data,omitempty"`
+}
+
+// Bytes returns the total size of the tensor in bytes, or 0 when the shape
+// is unknown.
+func (t *Tensor) Bytes() int64 {
+	if t.Shape == nil || !t.DType.Valid() {
+		return 0
+	}
+	return t.Shape.NumElements() * int64(t.DType.Size())
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := *t
+	c.Shape = t.Shape.Clone()
+	c.IntData = append([]int64(nil), t.IntData...)
+	return &c
+}
+
+// Node is one operator instance (an ONNX node): an op type, named input
+// and output tensors, and attributes.
+type Node struct {
+	Name    string   `json:"name"`
+	OpType  string   `json:"op_type"`
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+	Attrs   Attrs    `json:"attrs,omitempty"`
+}
+
+// Clone returns a deep copy of the node.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Name:    n.Name,
+		OpType:  n.OpType,
+		Inputs:  append([]string(nil), n.Inputs...),
+		Outputs: append([]string(nil), n.Outputs...),
+		Attrs:   n.Attrs.Clone(),
+	}
+	return c
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%s: %s -> %s)", n.OpType, n.Name,
+		strings.Join(n.Inputs, ","), strings.Join(n.Outputs, ","))
+}
+
+// Graph is a directed acyclic dataflow graph of Nodes over named Tensors.
+// It corresponds to an ONNX GraphProto.
+type Graph struct {
+	Name    string             `json:"name"`
+	Nodes   []*Node            `json:"nodes"`
+	Tensors map[string]*Tensor `json:"tensors"`
+	// Inputs and Outputs are the names of the graph-level input and
+	// output tensors (excluding parameters).
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+
+	// idx memoizes the producer/consumer index; see index().
+	idx *graphIndex
+}
+
+// New creates an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{Name: name, Tensors: map[string]*Tensor{}}
+}
+
+// AddTensor registers a tensor, replacing any previous tensor of the same
+// name.
+func (g *Graph) AddTensor(t *Tensor) {
+	g.Tensors[t.Name] = t
+}
+
+// Tensor returns the named tensor or nil.
+func (g *Graph) Tensor(name string) *Tensor {
+	return g.Tensors[name]
+}
+
+// AddNode appends a node to the graph.
+func (g *Graph) AddNode(n *Node) {
+	g.Nodes = append(g.Nodes, n)
+}
+
+// Node returns the node with the given name, or nil.
+func (g *Graph) Node(name string) *Node {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Producer returns the node producing the named tensor, or nil for graph
+// inputs and parameters. O(1) via the index built by BuildIndex; falls
+// back to a scan when the index is stale.
+func (g *Graph) Producer(name string) *Node {
+	idx := g.index()
+	return idx.producer[name]
+}
+
+// Consumers returns the nodes consuming the named tensor.
+func (g *Graph) Consumers(name string) []*Node {
+	idx := g.index()
+	return idx.consumers[name]
+}
+
+// graphIndex memoizes producer/consumer maps; invalidated by node-count
+// change (nodes are appended, never mutated in place by builders).
+type graphIndex struct {
+	nodeCount int
+	producer  map[string]*Node
+	consumers map[string][]*Node
+}
+
+func (g *Graph) index() *graphIndex {
+	if g.idx != nil && g.idx.nodeCount == len(g.Nodes) {
+		return g.idx
+	}
+	idx := &graphIndex{
+		nodeCount: len(g.Nodes),
+		producer:  make(map[string]*Node, len(g.Nodes)),
+		consumers: make(map[string][]*Node, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		for _, o := range n.Outputs {
+			idx.producer[o] = n
+		}
+		for _, i := range n.Inputs {
+			idx.consumers[i] = append(idx.consumers[i], n)
+		}
+	}
+	g.idx = idx
+	return idx
+}
+
+// ParamCount returns the total number of parameter elements (the "Params
+// (M)" column of Table 3 divides this by 1e6).
+func (g *Graph) ParamCount() int64 {
+	var n int64
+	for _, t := range g.Tensors {
+		if t.Param {
+			n += t.Shape.NumElements()
+		}
+	}
+	return n
+}
+
+// ParamBytes returns the total parameter size in bytes.
+func (g *Graph) ParamBytes() int64 {
+	var n int64
+	for _, t := range g.Tensors {
+		if t.Param {
+			n += t.Bytes()
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the graph (nodes, tensors, IO lists).
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	c.Inputs = append([]string(nil), g.Inputs...)
+	c.Outputs = append([]string(nil), g.Outputs...)
+	for _, n := range g.Nodes {
+		c.Nodes = append(c.Nodes, n.Clone())
+	}
+	for name, t := range g.Tensors {
+		c.Tensors[name] = t.Clone()
+	}
+	return c
+}
+
+// Validate checks structural invariants: unique node names, unique output
+// producers, all referenced tensors registered, graph inputs/outputs
+// present, and acyclicity.
+func (g *Graph) Validate() error {
+	names := make(map[string]bool, len(g.Nodes))
+	produced := make(map[string]string)
+	for _, n := range g.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("graph %s: node with empty name (%s)", g.Name, n.OpType)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("graph %s: duplicate node name %q", g.Name, n.Name)
+		}
+		names[n.Name] = true
+		for _, o := range n.Outputs {
+			if prev, ok := produced[o]; ok {
+				return fmt.Errorf("graph %s: tensor %q produced by both %q and %q", g.Name, o, prev, n.Name)
+			}
+			produced[o] = n.Name
+			if g.Tensors[o] == nil {
+				return fmt.Errorf("graph %s: node %q output tensor %q not registered", g.Name, n.Name, o)
+			}
+		}
+		for _, i := range n.Inputs {
+			if g.Tensors[i] == nil {
+				return fmt.Errorf("graph %s: node %q input tensor %q not registered", g.Name, n.Name, i)
+			}
+		}
+	}
+	for _, in := range g.Inputs {
+		if g.Tensors[in] == nil {
+			return fmt.Errorf("graph %s: graph input %q not registered", g.Name, in)
+		}
+	}
+	for _, out := range g.Outputs {
+		if g.Tensors[out] == nil {
+			return fmt.Errorf("graph %s: graph output %q not registered", g.Name, out)
+		}
+		if produced[out] == "" {
+			return fmt.Errorf("graph %s: graph output %q has no producer", g.Name, out)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoSort returns the nodes in a topological order (inputs before
+// consumers). Among ready nodes, declaration order wins, so the result
+// preserves the builder's program order: a Constant declared next to its
+// consumer stays next to it instead of floating to the front. It returns
+// an error when the graph has a cycle.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	indeg := make(map[*Node]int, len(g.Nodes))
+	declIdx := make(map[*Node]int, len(g.Nodes))
+	idx := g.index()
+	for i, n := range g.Nodes {
+		declIdx[n] = i
+		for _, in := range n.Inputs {
+			if idx.producer[in] != nil {
+				indeg[n]++
+			}
+		}
+	}
+	// Min-heap of ready nodes keyed by declaration index.
+	var heap nodeHeap
+	heap.less = func(a, b *Node) bool { return declIdx[a] < declIdx[b] }
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			heap.push(n)
+		}
+	}
+	order := make([]*Node, 0, len(g.Nodes))
+	for heap.len() > 0 {
+		n := heap.pop()
+		order = append(order, n)
+		for _, o := range n.Outputs {
+			for _, c := range idx.consumers[o] {
+				indeg[c]--
+				if indeg[c] == 0 {
+					heap.push(c)
+				}
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("graph %s: cycle detected (%d of %d nodes sorted)", g.Name, len(order), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// nodeHeap is a minimal binary min-heap over nodes with a custom
+// comparison.
+type nodeHeap struct {
+	items []*Node
+	less  func(a, b *Node) bool
+}
+
+func (h *nodeHeap) len() int { return len(h.items) }
+
+func (h *nodeHeap) push(n *Node) {
+	h.items = append(h.items, n)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() *Node {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// ActivationBytes returns the total bytes of all non-parameter tensors
+// (graph inputs, outputs, and intermediates).
+func (g *Graph) ActivationBytes() int64 {
+	var n int64
+	for _, t := range g.Tensors {
+		if !t.Param {
+			n += t.Bytes()
+		}
+	}
+	return n
+}
+
+// ConvertFloatTensors retargets every floating-point tensor (parameters
+// and activations) to the given data type — how a deployment converts a
+// model to fp16 or int8 for inference. Integer index/shape tensors are
+// untouched. Re-run shape inference afterwards if nodes carry
+// dtype-sensitive semantics.
+func (g *Graph) ConvertFloatTensors(dt DataType) {
+	for _, t := range g.Tensors {
+		switch t.DType {
+		case Float32, Float16, BFloat16:
+			t.DType = dt
+		}
+	}
+}
+
+// SortedTensorNames returns all tensor names sorted, for deterministic
+// iteration.
+func (g *Graph) SortedTensorNames() []string {
+	names := make([]string, 0, len(g.Tensors))
+	for name := range g.Tensors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random layered DAG of Relu/Add nodes (plus
+// Constant-free structure) from a seed, returning a valid graph.
+func randomDAG(seed int64, maxNodes int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("random")
+	g.AddTensor(&Tensor{Name: "in0", DType: Float32, Shape: Shape{1, 4}})
+	g.Inputs = []string{"in0"}
+	available := []string{"in0"}
+	n := 1 + rng.Intn(maxNodes)
+	for i := 0; i < n; i++ {
+		out := Tensorf(g, i)
+		if rng.Intn(2) == 0 || len(available) < 2 {
+			src := available[rng.Intn(len(available))]
+			g.AddNode(&Node{
+				Name: nodef(i), OpType: "Relu",
+				Inputs: []string{src}, Outputs: []string{out},
+			})
+		} else {
+			a := available[rng.Intn(len(available))]
+			b := available[rng.Intn(len(available))]
+			g.AddNode(&Node{
+				Name: nodef(i), OpType: "Add",
+				Inputs: []string{a, b}, Outputs: []string{out},
+			})
+		}
+		available = append(available, out)
+	}
+	g.Outputs = []string{available[len(available)-1]}
+	return g
+}
+
+// Tensorf registers a fresh tensor t<i> and returns its name.
+func Tensorf(g *Graph, i int) string {
+	name := "t" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+(i/260)%10))
+	g.AddTensor(&Tensor{Name: name, DType: Float32})
+	return name
+}
+
+func nodef(i int) string {
+	return "n" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+(i/260)%10))
+}
+
+// TestTopoSortRespectsEdges: for random DAGs, every node appears after
+// all producers of its inputs.
+func TestTopoSortRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 40)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, n := range order {
+			pos[n.Name] = i
+		}
+		for _, n := range g.Nodes {
+			for _, in := range n.Inputs {
+				if p := g.Producer(in); p != nil && pos[p.Name] >= pos[n.Name] {
+					return false
+				}
+			}
+		}
+		return len(order) == len(g.Nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopoSortPrefersDeclarationOrder: among independent chains, the
+// first-declared node comes first (program-order stability, which the
+// fusion passes rely on).
+func TestTopoSortPrefersDeclarationOrder(t *testing.T) {
+	g := New("stable")
+	g.AddTensor(&Tensor{Name: "x", DType: Float32, Shape: Shape{1}})
+	g.AddTensor(&Tensor{Name: "a", DType: Float32})
+	g.AddTensor(&Tensor{Name: "b", DType: Float32})
+	g.Inputs = []string{"x"}
+	g.AddNode(&Node{Name: "first", OpType: "Relu", Inputs: []string{"x"}, Outputs: []string{"a"}})
+	g.AddNode(&Node{Name: "second", OpType: "Relu", Inputs: []string{"x"}, Outputs: []string{"b"}})
+	g.Outputs = []string{"a", "b"}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0].Name != "first" || order[1].Name != "second" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+// TestTopoSortConstantsStayLocal: Constant nodes declared next to their
+// consumer must not float to the front of the order.
+func TestTopoSortConstantsStayLocal(t *testing.T) {
+	g := New("const-local")
+	g.AddTensor(&Tensor{Name: "x", DType: Float32, Shape: Shape{1, 4}})
+	g.AddTensor(&Tensor{Name: "a", DType: Float32})
+	g.AddTensor(&Tensor{Name: "c", DType: Int64})
+	g.AddTensor(&Tensor{Name: "y", DType: Float32})
+	g.Inputs = []string{"x"}
+	g.AddNode(&Node{Name: "relu", OpType: "Relu", Inputs: []string{"x"}, Outputs: []string{"a"}})
+	g.AddNode(&Node{Name: "konst", OpType: "Constant", Outputs: []string{"c"},
+		Attrs: Attrs{"value_ints": IntsAttr(1, 4)}})
+	g.AddNode(&Node{Name: "reshape", OpType: "Reshape", Inputs: []string{"a", "c"}, Outputs: []string{"y"}})
+	g.Outputs = []string{"y"}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0].Name != "relu" {
+		t.Errorf("Constant floated to front: %v", order)
+	}
+}
+
+// TestCloneIsDeepAndEquivalent: a clone marshals to identical JSON and
+// shares no mutable state.
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 20)
+		c := g.Clone()
+		j1, err1 := json.Marshal(g)
+		j2, err2 := json.Marshal(c)
+		if err1 != nil || err2 != nil || string(j1) != string(j2) {
+			return false
+		}
+		// Mutating the clone leaves the original untouched.
+		if len(c.Nodes) > 0 {
+			c.Nodes[0].OpType = "Mutated"
+		}
+		return g.Nodes[0].OpType != "Mutated"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateRandomDAGs: every generated DAG validates, and reversing
+// an edge into a cycle is caught.
+func TestValidateRandomDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 30)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInferShapesIdempotent: re-running inference never changes shapes.
+func TestInferShapesIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 25)
+		if err := g.InferShapes(); err != nil {
+			return false
+		}
+		snapshot := map[string]string{}
+		for name, tens := range g.Tensors {
+			snapshot[name] = tens.Shape.String()
+		}
+		if err := g.InferShapes(); err != nil {
+			return false
+		}
+		for name, tens := range g.Tensors {
+			if snapshot[name] != tens.Shape.String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNodeHeapOrdering: the internal heap pops nodes in comparator
+// order for arbitrary insert sequences.
+func TestNodeHeapOrdering(t *testing.T) {
+	f := func(keys []uint8) bool {
+		nodes := make([]*Node, len(keys))
+		weight := map[*Node]int{}
+		var h nodeHeap
+		h.less = func(a, b *Node) bool { return weight[a] < weight[b] }
+		for i, k := range keys {
+			nodes[i] = &Node{Name: "x"}
+			weight[nodes[i]] = int(k)
+			h.push(nodes[i])
+		}
+		prev := -1
+		for h.len() > 0 {
+			n := h.pop()
+			if weight[n] < prev {
+				return false
+			}
+			prev = weight[n]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

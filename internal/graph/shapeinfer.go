@@ -1,0 +1,1109 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// InferShapes runs ONNX-style shape (and partial value) inference over the
+// graph. Graph inputs and parameter tensors must already carry shapes;
+// every other tensor's shape and data type is derived in topological
+// order. Small constant integer tensors (Shape results, Gather indices,
+// shape-concat chains) have their *values* propagated so that
+// tensor-driven Reshape/Expand work like real ONNX exports.
+//
+// InferShapes may be re-run after changing the graph input shapes (e.g.
+// a different batch size); it overwrites previously inferred shapes.
+func (g *Graph) InferShapes() error {
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	ctx := &inferCtx{g: g, values: map[string][]int64{}}
+	// Seed known values from constant parameter tensors.
+	for _, t := range g.Tensors {
+		if t.IntData != nil {
+			ctx.values[t.Name] = t.IntData
+		}
+	}
+	for _, n := range order {
+		if err := ctx.inferNode(n); err != nil {
+			return fmt.Errorf("shape inference at node %q (%s): %w", n.Name, n.OpType, err)
+		}
+	}
+	return nil
+}
+
+type inferCtx struct {
+	g      *Graph
+	values map[string][]int64
+}
+
+func (c *inferCtx) in(n *Node, i int) (*Tensor, error) {
+	if i >= len(n.Inputs) {
+		return nil, fmt.Errorf("missing input %d", i)
+	}
+	t := c.g.Tensors[n.Inputs[i]]
+	if t == nil {
+		return nil, fmt.Errorf("input tensor %q not registered", n.Inputs[i])
+	}
+	if t.Shape == nil {
+		return nil, fmt.Errorf("input tensor %q has unknown shape", n.Inputs[i])
+	}
+	return t, nil
+}
+
+// setOut assigns shape/dtype to output i of node n.
+func (c *inferCtx) setOut(n *Node, i int, shape Shape, dt DataType) error {
+	if i >= len(n.Outputs) {
+		return fmt.Errorf("missing output %d", i)
+	}
+	t := c.g.Tensors[n.Outputs[i]]
+	if t == nil {
+		return fmt.Errorf("output tensor %q not registered", n.Outputs[i])
+	}
+	t.Shape = shape
+	t.DType = dt
+	return nil
+}
+
+// broadcast implements numpy-style multidirectional broadcasting.
+func broadcast(a, b Shape) (Shape, error) {
+	ra, rb := len(a), len(b)
+	r := ra
+	if rb > r {
+		r = rb
+	}
+	out := make(Shape, r)
+	for i := 0; i < r; i++ {
+		da, db := 1, 1
+		if i >= r-ra {
+			da = a[i-(r-ra)]
+		}
+		if i >= r-rb {
+			db = b[i-(r-rb)]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("cannot broadcast %v with %v", a, b)
+		}
+	}
+	return out, nil
+}
+
+// poolDim computes one spatial output dimension of a conv/pool window.
+func poolDim(in, k, stride, padBegin, padEnd, dilation int, ceilMode bool) int {
+	eff := (k-1)*dilation + 1
+	num := in + padBegin + padEnd - eff
+	if num < 0 {
+		return 0
+	}
+	if ceilMode {
+		return (num+stride-1)/stride + 1
+	}
+	return num/stride + 1
+}
+
+// elementwiseUnary lists op types whose output shape and dtype equal the
+// first input's.
+var elementwiseUnary = map[string]bool{
+	"Relu": true, "LeakyRelu": true, "Sigmoid": true, "Tanh": true,
+	"Erf": true, "Sqrt": true, "Exp": true, "Log": true, "Neg": true,
+	"Abs": true, "Clip": true, "HardSigmoid": true, "HardSwish": true,
+	"Gelu": true, "Identity": true, "Softmax": true, "LogSoftmax": true,
+	"Reciprocal": true, "Floor": true, "Round": true, "Elu": true,
+	"Softplus": true, "Mish": true, "Silu": true, "Dropout": true,
+	"Sin": true, "Cos": true,
+}
+
+// elementwiseBinary lists broadcasted binary op types (dtype follows the
+// first input unless noted in inferNode).
+var elementwiseBinary = map[string]bool{
+	"Add": true, "Sub": true, "Mul": true, "Div": true, "Pow": true,
+	"Min": true, "Max": true, "Mod": true, "PRelu": true,
+	"Equal": true, "Greater": true, "Less": true, "GreaterOrEqual": true,
+	"LessOrEqual": true, "And": true, "Or": true,
+}
+
+var comparisonOps = map[string]bool{
+	"Equal": true, "Greater": true, "Less": true,
+	"GreaterOrEqual": true, "LessOrEqual": true,
+}
+
+func (c *inferCtx) inferNode(n *Node) error {
+	switch {
+	case elementwiseUnary[n.OpType]:
+		x, err := c.in(n, 0)
+		if err != nil {
+			return err
+		}
+		return c.setOut(n, 0, x.Shape.Clone(), x.DType)
+
+	case elementwiseBinary[n.OpType]:
+		a, err := c.in(n, 0)
+		if err != nil {
+			return err
+		}
+		b, err := c.in(n, 1)
+		if err != nil {
+			return err
+		}
+		out, err := broadcast(a.Shape, b.Shape)
+		if err != nil {
+			return err
+		}
+		dt := a.DType
+		if comparisonOps[n.OpType] {
+			dt = Bool
+		}
+		// Propagate constant integer values through arithmetic on
+		// shape-computation chains.
+		if va, ok := c.values[n.Inputs[0]]; ok {
+			if vb, ok2 := c.values[n.Inputs[1]]; ok2 && len(va) == len(vb) {
+				if v := evalIntBinary(n.OpType, va, vb); v != nil {
+					c.values[n.Outputs[0]] = v
+				}
+			}
+		}
+		return c.setOut(n, 0, out, dt)
+	}
+
+	switch n.OpType {
+	case "Constant":
+		return c.inferConstant(n)
+	case "Conv":
+		return c.inferConv(n)
+	case "ConvTranspose":
+		return c.inferConvTranspose(n)
+	case "MaxPool", "AveragePool":
+		return c.inferPool(n)
+	case "GlobalAveragePool", "GlobalMaxPool":
+		x, err := c.in(n, 0)
+		if err != nil {
+			return err
+		}
+		out := x.Shape.Clone()
+		for i := 2; i < len(out); i++ {
+			out[i] = 1
+		}
+		return c.setOut(n, 0, out, x.DType)
+	case "BatchNormalization", "InstanceNormalization",
+		"GroupNormalization", "LayerNormalization", "LpNormalization":
+		x, err := c.in(n, 0)
+		if err != nil {
+			return err
+		}
+		return c.setOut(n, 0, x.Shape.Clone(), x.DType)
+	case "MatMul":
+		return c.inferMatMul(n)
+	case "Gemm":
+		return c.inferGemm(n)
+	case "Transpose":
+		return c.inferTranspose(n)
+	case "Reshape":
+		return c.inferReshape(n)
+	case "Flatten":
+		return c.inferFlatten(n)
+	case "Concat":
+		return c.inferConcat(n)
+	case "Split":
+		return c.inferSplit(n)
+	case "Slice":
+		return c.inferSlice(n)
+	case "Squeeze":
+		return c.inferSqueeze(n)
+	case "Unsqueeze":
+		return c.inferUnsqueeze(n)
+	case "Gather":
+		return c.inferGather(n)
+	case "Shape":
+		return c.inferShapeOp(n)
+	case "Expand":
+		return c.inferExpand(n)
+	case "Pad":
+		return c.inferPad(n)
+	case "ReduceMean", "ReduceSum", "ReduceMax", "ReduceMin", "ReduceProd":
+		return c.inferReduce(n)
+	case "Einsum":
+		return c.inferEinsum(n)
+	case "ArgMax", "ArgMin":
+		return c.inferArgReduce(n)
+	case "TopK":
+		return c.inferTopK(n)
+	case "Not":
+		x, err := c.in(n, 0)
+		if err != nil {
+			return err
+		}
+		return c.setOut(n, 0, x.Shape.Clone(), Bool)
+	case "Sum", "Mean":
+		return c.inferVariadicElementwise(n)
+	case "Resize", "Upsample":
+		return c.inferResize(n)
+	case "Cast":
+		return c.inferCast(n)
+	case "Where":
+		return c.inferWhere(n)
+	case "ConstantOfShape":
+		return c.inferConstantOfShape(n)
+	case "Tile":
+		return c.inferTile(n)
+	case "ReduceL2":
+		return c.inferReduce(n)
+	case "DequantizeLinear", "QuantizeLinear":
+		x, err := c.in(n, 0)
+		if err != nil {
+			return err
+		}
+		dt := x.DType
+		if n.OpType == "QuantizeLinear" {
+			dt = Int8
+		} else {
+			dt = Float32
+		}
+		return c.setOut(n, 0, x.Shape.Clone(), dt)
+	}
+	return fmt.Errorf("unsupported op type %q", n.OpType)
+}
+
+// inferConstant handles ONNX Constant nodes: "value_ints" yields an
+// Int64 vector with a known (propagated) value; "value_float"/"value_floats"
+// yield Float32 tensors. Real PyTorch exports emit these for Reshape
+// targets, Slice bounds and scalar multipliers.
+func (c *inferCtx) inferConstant(n *Node) error {
+	if v, ok := n.Attrs["value_ints"]; ok && v.Kind == AttrInts {
+		vals := make([]int64, len(v.Ints))
+		for i, x := range v.Ints {
+			vals[i] = int64(x)
+		}
+		c.values[n.Outputs[0]] = vals
+		return c.setOut(n, 0, Shape{len(vals)}, Int64)
+	}
+	if _, ok := n.Attrs["value_float"]; ok {
+		return c.setOut(n, 0, Shape{1}, Float32)
+	}
+	if v, ok := n.Attrs["value_floats"]; ok && v.Kind == AttrInts {
+		return c.setOut(n, 0, Shape{len(v.Ints)}, Float32)
+	}
+	return fmt.Errorf("Constant node without value_ints/value_float attribute")
+}
+
+func evalIntBinary(op string, a, b []int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		switch op {
+		case "Add":
+			out[i] = a[i] + b[i]
+		case "Sub":
+			out[i] = a[i] - b[i]
+		case "Mul":
+			out[i] = a[i] * b[i]
+		case "Div":
+			if b[i] == 0 {
+				return nil
+			}
+			out[i] = a[i] / b[i]
+		default:
+			return nil
+		}
+	}
+	return out
+}
+
+func (c *inferCtx) inferConv(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	w, err := c.in(n, 1)
+	if err != nil {
+		return err
+	}
+	if x.Shape.Rank() != 4 || w.Shape.Rank() != 4 {
+		return fmt.Errorf("Conv expects 4-D input and weight, got %v and %v", x.Shape, w.Shape)
+	}
+	group := n.Attrs.Int("group", 1)
+	strides := n.Attrs.Ints("strides", []int{1, 1})
+	dil := n.Attrs.Ints("dilations", []int{1, 1})
+	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	kh, kw := w.Shape[2], w.Shape[3]
+	if cinPerGroup := w.Shape[1]; cinPerGroup*group != x.Shape[1] {
+		return fmt.Errorf("Conv channel mismatch: input C=%d, weight Cin/g=%d, group=%d", x.Shape[1], cinPerGroup, group)
+	}
+	oh := poolDim(x.Shape[2], kh, strides[0], pads[0], pads[2], dil[0], false)
+	ow := poolDim(x.Shape[3], kw, strides[1], pads[1], pads[3], dil[1], false)
+	out := Shape{x.Shape[0], w.Shape[0], oh, ow}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferConvTranspose(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	w, err := c.in(n, 1)
+	if err != nil {
+		return err
+	}
+	group := n.Attrs.Int("group", 1)
+	strides := n.Attrs.Ints("strides", []int{1, 1})
+	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	kh, kw := w.Shape[2], w.Shape[3]
+	oh := (x.Shape[2]-1)*strides[0] + kh - pads[0] - pads[2]
+	ow := (x.Shape[3]-1)*strides[1] + kw - pads[1] - pads[3]
+	out := Shape{x.Shape[0], w.Shape[1] * group, oh, ow}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferPool(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	k := n.Attrs.Ints("kernel_shape", nil)
+	if len(k) != 2 {
+		return fmt.Errorf("%s requires 2-D kernel_shape", n.OpType)
+	}
+	strides := n.Attrs.Ints("strides", []int{1, 1})
+	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	ceil := n.Attrs.Int("ceil_mode", 0) == 1
+	oh := poolDim(x.Shape[2], k[0], strides[0], pads[0], pads[2], 1, ceil)
+	ow := poolDim(x.Shape[3], k[1], strides[1], pads[1], pads[3], 1, ceil)
+	out := Shape{x.Shape[0], x.Shape[1], oh, ow}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferMatMul(n *Node) error {
+	a, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	b, err := c.in(n, 1)
+	if err != nil {
+		return err
+	}
+	sa, sb := a.Shape, b.Shape
+	if len(sa) < 1 || len(sb) < 1 {
+		return fmt.Errorf("MatMul on scalar")
+	}
+	// Promote 1-D operands per numpy semantics.
+	promA, promB := false, false
+	if len(sa) == 1 {
+		sa = Shape{1, sa[0]}
+		promA = true
+	}
+	if len(sb) == 1 {
+		sb = Shape{sb[0], 1}
+		promB = true
+	}
+	k1 := sa[len(sa)-1]
+	k2 := sb[len(sb)-2]
+	if k1 != k2 {
+		return fmt.Errorf("MatMul inner dims mismatch: %v x %v", a.Shape, b.Shape)
+	}
+	battA, battB := sa[:len(sa)-2], sb[:len(sb)-2]
+	batch, err := broadcast(Shape(battA), Shape(battB))
+	if err != nil {
+		return err
+	}
+	out := append(batch.Clone(), sa[len(sa)-2], sb[len(sb)-1])
+	if promA {
+		out = append(out[:len(out)-2], out[len(out)-1])
+	}
+	if promB {
+		out = out[:len(out)-1]
+	}
+	return c.setOut(n, 0, out, a.DType)
+}
+
+func (c *inferCtx) inferGemm(n *Node) error {
+	a, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	b, err := c.in(n, 1)
+	if err != nil {
+		return err
+	}
+	if a.Shape.Rank() != 2 || b.Shape.Rank() != 2 {
+		return fmt.Errorf("Gemm expects 2-D operands, got %v and %v", a.Shape, b.Shape)
+	}
+	transA := n.Attrs.Int("transA", 0) == 1
+	transB := n.Attrs.Int("transB", 0) == 1
+	m, ka := a.Shape[0], a.Shape[1]
+	if transA {
+		m, ka = ka, m
+	}
+	kb, nn := b.Shape[0], b.Shape[1]
+	if transB {
+		kb, nn = nn, kb
+	}
+	if ka != kb {
+		return fmt.Errorf("Gemm inner dims mismatch: %v x %v (transA=%v transB=%v)", a.Shape, b.Shape, transA, transB)
+	}
+	return c.setOut(n, 0, Shape{m, nn}, a.DType)
+}
+
+func (c *inferCtx) inferTranspose(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	perm := n.Attrs.Ints("perm", nil)
+	r := x.Shape.Rank()
+	if perm == nil {
+		perm = make([]int, r)
+		for i := range perm {
+			perm[i] = r - 1 - i
+		}
+	}
+	if len(perm) != r {
+		return fmt.Errorf("Transpose perm rank %d != input rank %d", len(perm), r)
+	}
+	out := make(Shape, r)
+	for i, p := range perm {
+		if p < 0 || p >= r {
+			return fmt.Errorf("Transpose perm entry %d out of range for rank %d", p, r)
+		}
+		out[i] = x.Shape[p]
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+// reshapeTarget resolves the target shape for Reshape/Expand-style ops:
+// from the "shape" attribute if present, otherwise from the known value of
+// the second input tensor.
+func (c *inferCtx) reshapeTarget(n *Node) ([]int, error) {
+	if tgt := n.Attrs.Ints("shape", nil); tgt != nil {
+		return tgt, nil
+	}
+	if len(n.Inputs) >= 2 {
+		if v, ok := c.values[n.Inputs[1]]; ok {
+			out := make([]int, len(v))
+			for i, x := range v {
+				out[i] = int(x)
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("shape input %q has no known value", n.Inputs[1])
+	}
+	return nil, fmt.Errorf("no shape attribute or shape input")
+}
+
+func (c *inferCtx) inferReshape(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	tgt, err := c.reshapeTarget(n)
+	if err != nil {
+		return err
+	}
+	total := x.Shape.NumElements()
+	out := make(Shape, len(tgt))
+	inferIdx := -1
+	known := int64(1)
+	for i, d := range tgt {
+		switch {
+		case d == -1:
+			if inferIdx >= 0 {
+				return fmt.Errorf("Reshape with multiple -1 dims")
+			}
+			inferIdx = i
+		case d == 0:
+			if i >= x.Shape.Rank() {
+				return fmt.Errorf("Reshape dim 0 at axis %d beyond input rank", i)
+			}
+			out[i] = x.Shape[i]
+			known *= int64(out[i])
+		default:
+			out[i] = d
+			known *= int64(d)
+		}
+	}
+	if inferIdx >= 0 {
+		if known == 0 || total%known != 0 {
+			return fmt.Errorf("Reshape cannot infer dim: %d elements into %v", total, tgt)
+		}
+		out[inferIdx] = int(total / known)
+	}
+	if out.NumElements() != total {
+		return fmt.Errorf("Reshape element count mismatch: %v (%d) -> %v (%d)", x.Shape, total, out, out.NumElements())
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferFlatten(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	axis := n.Attrs.Int("axis", 1)
+	if axis < 0 {
+		axis += x.Shape.Rank()
+	}
+	d0, d1 := int64(1), int64(1)
+	for i, d := range x.Shape {
+		if i < axis {
+			d0 *= int64(d)
+		} else {
+			d1 *= int64(d)
+		}
+	}
+	return c.setOut(n, 0, Shape{int(d0), int(d1)}, x.DType)
+}
+
+func (c *inferCtx) inferConcat(n *Node) error {
+	if len(n.Inputs) == 0 {
+		return fmt.Errorf("Concat with no inputs")
+	}
+	first, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	axis := n.Attrs.Int("axis", 0)
+	if axis < 0 {
+		axis += first.Shape.Rank()
+	}
+	out := first.Shape.Clone()
+	allKnown := true
+	var vals []int64
+	if v, ok := c.values[n.Inputs[0]]; ok {
+		vals = append(vals, v...)
+	} else {
+		allKnown = false
+	}
+	for i := 1; i < len(n.Inputs); i++ {
+		t, err := c.in(n, i)
+		if err != nil {
+			return err
+		}
+		if t.Shape.Rank() != out.Rank() {
+			return fmt.Errorf("Concat rank mismatch: %v vs %v", out, t.Shape)
+		}
+		for d := range out {
+			if d != axis && t.Shape[d] != out[d] {
+				return fmt.Errorf("Concat dim %d mismatch: %v vs %v", d, out, t.Shape)
+			}
+		}
+		out[axis] += t.Shape[axis]
+		if v, ok := c.values[n.Inputs[i]]; ok {
+			vals = append(vals, v...)
+		} else {
+			allKnown = false
+		}
+	}
+	if allKnown && out.Rank() == 1 {
+		c.values[n.Outputs[0]] = vals
+	}
+	return c.setOut(n, 0, out, first.DType)
+}
+
+func (c *inferCtx) inferSplit(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	axis := n.Attrs.Int("axis", 0)
+	if axis < 0 {
+		axis += x.Shape.Rank()
+	}
+	split := n.Attrs.Ints("split", nil)
+	if split == nil {
+		parts := len(n.Outputs)
+		if parts == 0 || x.Shape[axis]%parts != 0 {
+			return fmt.Errorf("Split cannot evenly divide dim %d (%d) into %d outputs", axis, x.Shape[axis], parts)
+		}
+		split = make([]int, parts)
+		for i := range split {
+			split[i] = x.Shape[axis] / parts
+		}
+	}
+	if len(split) != len(n.Outputs) {
+		return fmt.Errorf("Split sizes (%d) != outputs (%d)", len(split), len(n.Outputs))
+	}
+	sum := 0
+	for i, s := range split {
+		out := x.Shape.Clone()
+		out[axis] = s
+		sum += s
+		if err := c.setOut(n, i, out, x.DType); err != nil {
+			return err
+		}
+	}
+	if sum != x.Shape[axis] {
+		return fmt.Errorf("Split sizes sum to %d, dim is %d", sum, x.Shape[axis])
+	}
+	return nil
+}
+
+func (c *inferCtx) inferSlice(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	starts := n.Attrs.Ints("starts", nil)
+	ends := n.Attrs.Ints("ends", nil)
+	axes := n.Attrs.Ints("axes", nil)
+	steps := n.Attrs.Ints("steps", nil)
+	// Opset >= 10 form: starts/ends/axes/steps as (constant) inputs.
+	intsFromInput := func(i int) []int {
+		if i >= len(n.Inputs) {
+			return nil
+		}
+		v, ok := c.values[n.Inputs[i]]
+		if !ok {
+			return nil
+		}
+		out := make([]int, len(v))
+		for j, x := range v {
+			out[j] = int(x)
+		}
+		return out
+	}
+	if starts == nil {
+		starts = intsFromInput(1)
+	}
+	if ends == nil {
+		ends = intsFromInput(2)
+	}
+	if axes == nil && len(n.Inputs) > 3 {
+		axes = intsFromInput(3)
+	}
+	if steps == nil && len(n.Inputs) > 4 {
+		steps = intsFromInput(4)
+	}
+	if starts == nil || ends == nil {
+		return fmt.Errorf("Slice requires starts/ends (attributes or constant inputs)")
+	}
+	if axes == nil {
+		axes = make([]int, len(starts))
+		for i := range axes {
+			axes[i] = i
+		}
+	}
+	out := x.Shape.Clone()
+	for i, ax := range axes {
+		if ax < 0 {
+			ax += x.Shape.Rank()
+		}
+		dim := x.Shape[ax]
+		st, en := starts[i], ends[i]
+		step := 1
+		if steps != nil {
+			step = steps[i]
+		}
+		if st < 0 {
+			st += dim
+		}
+		if en < 0 {
+			en += dim
+		}
+		if en > dim {
+			en = dim
+		}
+		if st > dim {
+			st = dim
+		}
+		sz := 0
+		if step > 0 && en > st {
+			sz = (en - st + step - 1) / step
+		}
+		out[ax] = sz
+	}
+	// Value propagation for 1-D int tensors.
+	if v, ok := c.values[n.Inputs[0]]; ok && x.Shape.Rank() == 1 && len(axes) == 1 && (steps == nil || steps[0] == 1) {
+		st, en := starts[0], ends[0]
+		if st < 0 {
+			st += len(v)
+		}
+		if en < 0 {
+			en += len(v)
+		}
+		if en > len(v) {
+			en = len(v)
+		}
+		if st >= 0 && st <= en {
+			c.values[n.Outputs[0]] = v[st:en]
+		}
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferSqueeze(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	axes := n.Attrs.Ints("axes", nil)
+	drop := map[int]bool{}
+	if axes == nil {
+		for i, d := range x.Shape {
+			if d == 1 {
+				drop[i] = true
+			}
+		}
+	} else {
+		for _, a := range axes {
+			if a < 0 {
+				a += x.Shape.Rank()
+			}
+			drop[a] = true
+		}
+	}
+	var out Shape
+	for i, d := range x.Shape {
+		if !drop[i] {
+			out = append(out, d)
+		}
+	}
+	if out == nil {
+		out = Shape{}
+	}
+	if v, ok := c.values[n.Inputs[0]]; ok {
+		c.values[n.Outputs[0]] = v
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferUnsqueeze(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	axes := n.Attrs.Ints("axes", nil)
+	if axes == nil {
+		return fmt.Errorf("Unsqueeze requires axes")
+	}
+	r := x.Shape.Rank() + len(axes)
+	ins := map[int]bool{}
+	for _, a := range axes {
+		if a < 0 {
+			a += r
+		}
+		ins[a] = true
+	}
+	out := make(Shape, 0, r)
+	src := 0
+	for i := 0; i < r; i++ {
+		if ins[i] {
+			out = append(out, 1)
+		} else {
+			out = append(out, x.Shape[src])
+			src++
+		}
+	}
+	if v, ok := c.values[n.Inputs[0]]; ok {
+		c.values[n.Outputs[0]] = v
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferGather(n *Node) error {
+	data, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	idx, err := c.in(n, 1)
+	if err != nil {
+		return err
+	}
+	axis := n.Attrs.Int("axis", 0)
+	if axis < 0 {
+		axis += data.Shape.Rank()
+	}
+	out := make(Shape, 0, data.Shape.Rank()-1+idx.Shape.Rank())
+	out = append(out, data.Shape[:axis]...)
+	out = append(out, idx.Shape...)
+	out = append(out, data.Shape[axis+1:]...)
+	// Value propagation: gathering from a known 1-D value with known
+	// scalar/1-D indices.
+	if v, ok := c.values[n.Inputs[0]]; ok && axis == 0 {
+		if iv, ok2 := c.values[n.Inputs[1]]; ok2 {
+			res := make([]int64, 0, len(iv))
+			okAll := true
+			for _, i := range iv {
+				if i < 0 {
+					i += int64(len(v))
+				}
+				if i < 0 || int(i) >= len(v) {
+					okAll = false
+					break
+				}
+				res = append(res, v[i])
+			}
+			if okAll {
+				c.values[n.Outputs[0]] = res
+			}
+		}
+	}
+	return c.setOut(n, 0, out, data.DType)
+}
+
+func (c *inferCtx) inferShapeOp(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	v := make([]int64, x.Shape.Rank())
+	for i, d := range x.Shape {
+		v[i] = int64(d)
+	}
+	c.values[n.Outputs[0]] = v
+	return c.setOut(n, 0, Shape{x.Shape.Rank()}, Int64)
+}
+
+func (c *inferCtx) inferExpand(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	tgt, err := c.reshapeTarget(n)
+	if err != nil {
+		return err
+	}
+	out, err := broadcast(x.Shape, Shape(tgt))
+	if err != nil {
+		return err
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferPad(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	pads := n.Attrs.Ints("pads", nil)
+	r := x.Shape.Rank()
+	if len(pads) != 2*r {
+		return fmt.Errorf("Pad requires %d pad values, got %d", 2*r, len(pads))
+	}
+	out := x.Shape.Clone()
+	for i := 0; i < r; i++ {
+		out[i] += pads[i] + pads[r+i]
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferReduce(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	axes := n.Attrs.Ints("axes", nil)
+	keep := n.Attrs.Int("keepdims", 1) == 1
+	if axes == nil {
+		if keep {
+			out := make(Shape, x.Shape.Rank())
+			for i := range out {
+				out[i] = 1
+			}
+			return c.setOut(n, 0, out, x.DType)
+		}
+		return c.setOut(n, 0, Shape{}, x.DType)
+	}
+	red := map[int]bool{}
+	for _, a := range axes {
+		if a < 0 {
+			a += x.Shape.Rank()
+		}
+		red[a] = true
+	}
+	out := make(Shape, 0, x.Shape.Rank())
+	for i, d := range x.Shape {
+		switch {
+		case red[i] && keep:
+			out = append(out, 1)
+		case red[i]:
+		default:
+			out = append(out, d)
+		}
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferResize(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	scales := n.Attrs.Ints("scales", nil)
+	if scales == nil {
+		return fmt.Errorf("Resize requires integer scales attribute")
+	}
+	if len(scales) != x.Shape.Rank() {
+		return fmt.Errorf("Resize scales rank %d != input rank %d", len(scales), x.Shape.Rank())
+	}
+	out := make(Shape, x.Shape.Rank())
+	for i := range out {
+		out[i] = x.Shape[i] * scales[i]
+	}
+	return c.setOut(n, 0, out, x.DType)
+}
+
+func (c *inferCtx) inferCast(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	to := n.Attrs.String("to", "")
+	dt, err := ParseDataType(to)
+	if err != nil {
+		return fmt.Errorf("Cast: %w", err)
+	}
+	if v, ok := c.values[n.Inputs[0]]; ok {
+		c.values[n.Outputs[0]] = v
+	}
+	return c.setOut(n, 0, x.Shape.Clone(), dt)
+}
+
+func (c *inferCtx) inferWhere(n *Node) error {
+	cond, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	a, err := c.in(n, 1)
+	if err != nil {
+		return err
+	}
+	b, err := c.in(n, 2)
+	if err != nil {
+		return err
+	}
+	s, err := broadcast(cond.Shape, a.Shape)
+	if err != nil {
+		return err
+	}
+	s, err = broadcast(s, b.Shape)
+	if err != nil {
+		return err
+	}
+	return c.setOut(n, 0, s, a.DType)
+}
+
+func (c *inferCtx) inferConstantOfShape(n *Node) error {
+	tgt, err := c.reshapeTarget(n)
+	if err != nil {
+		// ConstantOfShape takes the shape from input 0 in ONNX.
+		if v, ok := c.values[n.Inputs[0]]; ok {
+			tgt = make([]int, len(v))
+			for i, x := range v {
+				tgt[i] = int(x)
+			}
+		} else {
+			return err
+		}
+	}
+	return c.setOut(n, 0, Shape(tgt), Float32)
+}
+
+// inferArgReduce handles ArgMax/ArgMin: a reduction producing Int64
+// indices.
+func (c *inferCtx) inferArgReduce(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	axis := n.Attrs.Int("axis", 0)
+	if axis < 0 {
+		axis += x.Shape.Rank()
+	}
+	keep := n.Attrs.Int("keepdims", 1) == 1
+	out := make(Shape, 0, x.Shape.Rank())
+	for i, d := range x.Shape {
+		switch {
+		case i == axis && keep:
+			out = append(out, 1)
+		case i == axis:
+		default:
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		out = Shape{}
+	}
+	return c.setOut(n, 0, out, Int64)
+}
+
+// inferTopK produces the top-k values and indices along an axis; k
+// comes from the "k" attribute or a constant second input.
+func (c *inferCtx) inferTopK(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	k := n.Attrs.Int("k", 0)
+	if k == 0 && len(n.Inputs) >= 2 {
+		if v, ok := c.values[n.Inputs[1]]; ok && len(v) == 1 {
+			k = int(v[0])
+		}
+	}
+	if k <= 0 {
+		return fmt.Errorf("TopK requires k (attribute or constant input)")
+	}
+	axis := n.Attrs.Int("axis", -1)
+	if axis < 0 {
+		axis += x.Shape.Rank()
+	}
+	out := x.Shape.Clone()
+	if k > out[axis] {
+		return fmt.Errorf("TopK k=%d exceeds dim %d", k, out[axis])
+	}
+	out[axis] = k
+	if err := c.setOut(n, 0, out, x.DType); err != nil {
+		return err
+	}
+	if len(n.Outputs) >= 2 {
+		return c.setOut(n, 1, out.Clone(), Int64)
+	}
+	return nil
+}
+
+// inferVariadicElementwise handles Sum/Mean over N broadcastable
+// inputs.
+func (c *inferCtx) inferVariadicElementwise(n *Node) error {
+	if len(n.Inputs) == 0 {
+		return fmt.Errorf("%s requires inputs", n.OpType)
+	}
+	first, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	out := first.Shape.Clone()
+	for i := 1; i < len(n.Inputs); i++ {
+		t, err := c.in(n, i)
+		if err != nil {
+			return err
+		}
+		out, err = broadcast(out, t.Shape)
+		if err != nil {
+			return err
+		}
+	}
+	return c.setOut(n, 0, out, first.DType)
+}
+
+func (c *inferCtx) inferTile(n *Node) error {
+	x, err := c.in(n, 0)
+	if err != nil {
+		return err
+	}
+	reps := n.Attrs.Ints("repeats", nil)
+	if reps == nil {
+		return fmt.Errorf("Tile requires repeats attribute")
+	}
+	if len(reps) != x.Shape.Rank() {
+		return fmt.Errorf("Tile repeats rank mismatch")
+	}
+	out := x.Shape.Clone()
+	for i := range out {
+		out[i] *= reps[i]
+	}
+	return c.setOut(n, 0, out, x.DType)
+}

@@ -1,0 +1,167 @@
+// Package graph provides the tensor-graph intermediate representation used
+// throughout PRoof. It mirrors the information content of an ONNX graph:
+// typed nodes with attributes, named tensors with shapes and data types,
+// graph inputs/outputs, and parameter (initializer) tensors. It also
+// provides ONNX-style shape inference so that model builders only need to
+// declare graph inputs and parameter shapes.
+package graph
+
+import "fmt"
+
+// DataType enumerates the tensor element types PRoof models. The set
+// matches the types that appear in DNN inference deployments (Table 2 of
+// the paper uses fp32/fp16/int8 depending on platform).
+type DataType int
+
+const (
+	// DTypeInvalid is the zero value and marks an unset data type.
+	DTypeInvalid DataType = iota
+	// Float32 is IEEE-754 single precision.
+	Float32
+	// Float16 is IEEE-754 half precision.
+	Float16
+	// BFloat16 is bfloat16.
+	BFloat16
+	// Int8 is a signed 8-bit integer (quantized inference).
+	Int8
+	// Int32 is a signed 32-bit integer.
+	Int32
+	// Int64 is a signed 64-bit integer (shape/index tensors in ONNX).
+	Int64
+	// Bool is a boolean element.
+	Bool
+)
+
+var dtypeNames = map[DataType]string{
+	DTypeInvalid: "invalid",
+	Float32:      "fp32",
+	Float16:      "fp16",
+	BFloat16:     "bf16",
+	Int8:         "int8",
+	Int32:        "int32",
+	Int64:        "int64",
+	Bool:         "bool",
+}
+
+var dtypeSizes = map[DataType]int{
+	Float32:  4,
+	Float16:  2,
+	BFloat16: 2,
+	Int8:     1,
+	Int32:    4,
+	Int64:    8,
+	Bool:     1,
+}
+
+// String returns the short lower-case name of the data type (e.g. "fp16").
+func (d DataType) String() string {
+	if s, ok := dtypeNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("DataType(%d)", int(d))
+}
+
+// Size returns the size of one element in bytes. It panics for
+// DTypeInvalid, which indicates a bug in shape/type inference.
+func (d DataType) Size() int {
+	s, ok := dtypeSizes[d]
+	if !ok {
+		panic(fmt.Sprintf("graph: Size of %v", d))
+	}
+	return s
+}
+
+// Valid reports whether d is a concrete data type.
+func (d DataType) Valid() bool {
+	_, ok := dtypeSizes[d]
+	return ok
+}
+
+// ParseDataType converts a name as produced by DataType.String back into a
+// DataType. It accepts a few common aliases ("float32", "half").
+func ParseDataType(s string) (DataType, error) {
+	switch s {
+	case "fp32", "float32", "float":
+		return Float32, nil
+	case "fp16", "float16", "half":
+		return Float16, nil
+	case "bf16", "bfloat16":
+		return BFloat16, nil
+	case "int8":
+		return Int8, nil
+	case "int32":
+		return Int32, nil
+	case "int64":
+		return Int64, nil
+	case "bool":
+		return Bool, nil
+	}
+	return DTypeInvalid, fmt.Errorf("graph: unknown data type %q", s)
+}
+
+// Shape is a tensor shape. A nil Shape means "unknown"; an empty non-nil
+// shape is a scalar. Dimensions are always concrete (no symbolic dims);
+// batch-size changes are handled by re-running shape inference with a
+// different graph input shape.
+type Shape []int
+
+// NumElements returns the total element count, or 0 for an unknown shape.
+// A scalar has one element.
+func (s Shape) NumElements() int64 {
+	if s == nil {
+		return 0
+	}
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Equal reports whether two shapes have identical rank and dimensions.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape {
+	if s == nil {
+		return nil
+	}
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// String formats the shape like "[1 3 224 224]".
+func (s Shape) String() string {
+	if s == nil {
+		return "[?]"
+	}
+	return fmt.Sprintf("%v", []int(s))
+}
+
+// Valid reports whether the shape is known and all dimensions are
+// positive.
+func (s Shape) Valid() bool {
+	if s == nil {
+		return false
+	}
+	for _, d := range s {
+		if d <= 0 {
+			return false
+		}
+	}
+	return true
+}

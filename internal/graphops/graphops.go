@@ -1,0 +1,328 @@
+// Package graphops provides model-graph transformation passes of the
+// kind DNN inference runtimes apply before backend-specific fusion:
+// identity elimination, dead-node elimination, and constant folding of
+// shape-computation chains. PRoof applies them to imported models (the
+// CLI's -optimize flag) so that hand-written or exported graphs enter
+// analysis in the same canonical form the zoo builders produce.
+package graphops
+
+import (
+	"fmt"
+
+	"proof/internal/graph"
+)
+
+// EliminateIdentity removes Identity and (inference-mode) Dropout nodes,
+// rewiring their consumers to the producer tensor. Graph outputs
+// produced by eliminated nodes keep their name via an alias rewrite of
+// the producer's output.
+func EliminateIdentity(g *graph.Graph) int {
+	removed := 0
+	for {
+		idx := -1
+		for i, n := range g.Nodes {
+			if (n.OpType == "Identity" || n.OpType == "Dropout") &&
+				len(n.Inputs) >= 1 && len(n.Outputs) == 1 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return removed
+		}
+		n := g.Nodes[idx]
+		src, dst := n.Inputs[0], n.Outputs[0]
+		// Rewire consumers of dst to src.
+		for _, c := range g.Nodes {
+			for j, in := range c.Inputs {
+				if in == dst {
+					c.Inputs[j] = src
+				}
+			}
+		}
+		// Keep graph-output names stable: if dst is a graph output,
+		// rename src's role instead.
+		for j, out := range g.Outputs {
+			if out == dst {
+				g.Outputs[j] = src
+			}
+		}
+		delete(g.Tensors, dst)
+		g.Nodes = append(g.Nodes[:idx], g.Nodes[idx+1:]...)
+		removed++
+	}
+}
+
+// EliminateDeadNodes removes nodes whose outputs cannot reach any graph
+// output, together with their now-unreferenced intermediate tensors.
+// Returns the number of nodes removed.
+func EliminateDeadNodes(g *graph.Graph) int {
+	live := map[string]bool{}
+	var stack []string
+	for _, out := range g.Outputs {
+		stack = append(stack, out)
+	}
+	seen := map[string]bool{}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		prod := g.Producer(t)
+		if prod == nil {
+			continue
+		}
+		live[prod.Name] = true
+		for _, in := range prod.Inputs {
+			stack = append(stack, in)
+		}
+	}
+	var kept []*graph.Node
+	removed := 0
+	referenced := map[string]bool{}
+	for _, n := range g.Nodes {
+		if live[n.Name] {
+			kept = append(kept, n)
+			for _, t := range append(append([]string{}, n.Inputs...), n.Outputs...) {
+				referenced[t] = true
+			}
+			continue
+		}
+		removed++
+	}
+	if removed == 0 {
+		return 0
+	}
+	for _, in := range g.Inputs {
+		referenced[in] = true
+	}
+	for _, out := range g.Outputs {
+		referenced[out] = true
+	}
+	for name, t := range g.Tensors {
+		if t.Param || referenced[name] {
+			continue
+		}
+		delete(g.Tensors, name)
+	}
+	g.Nodes = kept
+	return removed
+}
+
+// FoldConstants replaces shape-computation chains whose values are fully
+// known (Constant, Shape-of-static-input, Gather/Concat/arithmetic on
+// known values) with initializer tensors carrying the computed value.
+// Shapes must be inferred first. Returns the number of nodes folded.
+//
+// Folding is what real runtimes do at build time; after this pass, the
+// only remaining nodes are ones that move or compute tensor data.
+func FoldConstants(g *graph.Graph) (int, error) {
+	if err := g.InferShapes(); err != nil {
+		return 0, fmt.Errorf("graphops: shape inference before folding: %w", err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	return foldConstantsImpl(g, order)
+}
+
+// foldConstantsImpl performs the actual fold: it walks in topological
+// order, evaluates the shape-chain ops whose inputs are known, attaches
+// the computed value to the output tensor as an initializer, and removes
+// the producing node.
+//
+// Shape nodes whose input depends on a graph input are NOT folded: their
+// value contains the batch size, and baking it in would break
+// re-batching (runtimes fold those only at engine build time, when the
+// batch is fixed).
+func foldConstantsImpl(g *graph.Graph, order []*graph.Node) (int, error) {
+	// Forward closure of graph inputs: tensors with dynamic shapes.
+	dynamic := map[string]bool{}
+	for _, in := range g.Inputs {
+		dynamic[in] = true
+	}
+	for _, n := range order {
+		depends := false
+		for _, in := range n.Inputs {
+			if dynamic[in] {
+				depends = true
+				break
+			}
+		}
+		if depends {
+			for _, out := range n.Outputs {
+				dynamic[out] = true
+			}
+		}
+	}
+
+	values := map[string][]int64{}
+	for name, t := range g.Tensors {
+		if t.IntData != nil {
+			values[name] = t.IntData
+		}
+	}
+	evaluate := func(n *graph.Node) ([]int64, bool) {
+		in := func(i int) ([]int64, bool) {
+			if i >= len(n.Inputs) {
+				return nil, false
+			}
+			v, ok := values[n.Inputs[i]]
+			return v, ok
+		}
+		switch n.OpType {
+		case "Constant":
+			if v, ok := n.Attrs["value_ints"]; ok {
+				out := make([]int64, len(v.Ints))
+				for i, x := range v.Ints {
+					out[i] = int64(x)
+				}
+				return out, true
+			}
+			return nil, false
+		case "Shape":
+			if dynamic[n.Inputs[0]] {
+				return nil, false // batch-dependent: fold only at engine build
+			}
+			t := g.Tensor(n.Inputs[0])
+			if t == nil || !t.Shape.Valid() {
+				return nil, false
+			}
+			out := make([]int64, t.Shape.Rank())
+			for i, d := range t.Shape {
+				out[i] = int64(d)
+			}
+			return out, true
+		case "Gather":
+			data, ok1 := in(0)
+			idx, ok2 := in(1)
+			if !ok1 || !ok2 || n.Attrs.Int("axis", 0) != 0 {
+				return nil, false
+			}
+			out := make([]int64, 0, len(idx))
+			for _, i := range idx {
+				if i < 0 {
+					i += int64(len(data))
+				}
+				if i < 0 || int(i) >= len(data) {
+					return nil, false
+				}
+				out = append(out, data[i])
+			}
+			return out, true
+		case "Concat":
+			var out []int64
+			for i := range n.Inputs {
+				v, ok := in(i)
+				if !ok {
+					return nil, false
+				}
+				out = append(out, v...)
+			}
+			return out, true
+		case "Squeeze", "Unsqueeze", "Cast":
+			return in(0)
+		case "Add", "Sub", "Mul", "Div":
+			a, ok1 := in(0)
+			b, ok2 := in(1)
+			if !ok1 || !ok2 || len(a) != len(b) {
+				return nil, false
+			}
+			out := make([]int64, len(a))
+			for i := range a {
+				switch n.OpType {
+				case "Add":
+					out[i] = a[i] + b[i]
+				case "Sub":
+					out[i] = a[i] - b[i]
+				case "Mul":
+					out[i] = a[i] * b[i]
+				case "Div":
+					if b[i] == 0 {
+						return nil, false
+					}
+					out[i] = a[i] / b[i]
+				}
+			}
+			return out, true
+		}
+		return nil, false
+	}
+
+	foldedNodes := map[string]bool{}
+	for _, n := range order {
+		if len(n.Outputs) != 1 {
+			continue
+		}
+		out := g.Tensor(n.Outputs[0])
+		if out == nil {
+			continue
+		}
+		// Only fold integer shape chains (small tensors).
+		if n.OpType != "Shape" && n.OpType != "Constant" {
+			if out.DType != graph.Int64 || out.Shape == nil || out.Shape.NumElements() > 64 {
+				continue
+			}
+		}
+		if v, ok := evaluate(n); ok {
+			values[n.Outputs[0]] = v
+			foldedNodes[n.Name] = true
+		}
+	}
+	if len(foldedNodes) == 0 {
+		return 0, nil
+	}
+	// A folded node can only be removed if ALL its consumers accept an
+	// initializer in place of its output — always true in ONNX — and
+	// its output is not a graph output.
+	isGraphOutput := map[string]bool{}
+	for _, o := range g.Outputs {
+		isGraphOutput[o] = true
+	}
+	var kept []*graph.Node
+	removedCount := 0
+	for _, n := range g.Nodes {
+		if !foldedNodes[n.Name] || isGraphOutput[n.Outputs[0]] {
+			kept = append(kept, n)
+			continue
+		}
+		// Turn the output tensor into an initializer with the value.
+		t := g.Tensors[n.Outputs[0]]
+		t.Param = true
+		t.IntData = values[n.Outputs[0]]
+		removedCount++
+	}
+	g.Nodes = kept
+	return removedCount, nil
+}
+
+// Optimize applies the standard pass pipeline: identity elimination,
+// constant folding, then dead-node elimination. Returns a summary of
+// what was removed.
+type OptimizeStats struct {
+	// IdentityRemoved counts eliminated Identity/Dropout nodes.
+	IdentityRemoved int
+	// ConstantsFolded counts folded shape-chain nodes.
+	ConstantsFolded int
+	// DeadRemoved counts dead nodes eliminated.
+	DeadRemoved int
+}
+
+// Optimize runs the full pipeline in place.
+func Optimize(g *graph.Graph) (OptimizeStats, error) {
+	var stats OptimizeStats
+	stats.IdentityRemoved = EliminateIdentity(g)
+	folded, err := FoldConstants(g)
+	if err != nil {
+		return stats, err
+	}
+	stats.ConstantsFolded = folded
+	stats.DeadRemoved = EliminateDeadNodes(g)
+	if err := g.Validate(); err != nil {
+		return stats, fmt.Errorf("graphops: graph invalid after optimization: %w", err)
+	}
+	return stats, nil
+}

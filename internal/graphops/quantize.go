@@ -1,0 +1,109 @@
+package graphops
+
+import (
+	"fmt"
+
+	"proof/internal/graph"
+)
+
+// QuantizeInt8 converts a float model to the int8 deployment form
+// (post-training quantization as deployed): weights and activations
+// become int8, graph inputs and outputs stay fp32, and explicit
+// QuantizeLinear / DequantizeLinear boundary nodes are inserted — the
+// conversion layers a quantized engine actually executes. Returns the
+// number of Q/DQ nodes inserted.
+func QuantizeInt8(g *graph.Graph) (int, error) {
+	if err := g.Validate(); err != nil {
+		return 0, fmt.Errorf("graphops: quantize: %w", err)
+	}
+	for _, n := range g.Nodes {
+		if n.OpType == "QuantizeLinear" || n.OpType == "DequantizeLinear" {
+			return 0, fmt.Errorf("graphops: model is already quantized")
+		}
+	}
+
+	// Remember the float boundary tensors before conversion.
+	isFloat := func(t *graph.Tensor) bool {
+		switch t.DType {
+		case graph.Float32, graph.Float16, graph.BFloat16:
+			return true
+		}
+		return false
+	}
+	var floatInputs, floatOutputs []string
+	for _, in := range g.Inputs {
+		if t := g.Tensor(in); t != nil && isFloat(t) {
+			floatInputs = append(floatInputs, in)
+		}
+	}
+	for _, out := range g.Outputs {
+		if t := g.Tensor(out); t != nil && isFloat(t) {
+			floatOutputs = append(floatOutputs, out)
+		}
+	}
+
+	// Quantize the interior.
+	g.ConvertFloatTensors(graph.Int8)
+
+	scaleFor := func(name string) string {
+		s := name + "_qscale"
+		g.AddTensor(&graph.Tensor{Name: s, DType: graph.Float32, Shape: graph.Shape{1}, Param: true})
+		return s
+	}
+
+	inserted := 0
+	// Inputs: restore fp32 and quantize into the graph.
+	for _, in := range floatInputs {
+		t := g.Tensor(in)
+		t.DType = graph.Float32
+		q := in + "_quantized"
+		g.AddTensor(&graph.Tensor{Name: q, DType: graph.Int8, Shape: t.Shape.Clone()})
+		for _, c := range g.Nodes {
+			for j, inp := range c.Inputs {
+				if inp == in {
+					c.Inputs[j] = q
+				}
+			}
+		}
+		g.AddNode(&graph.Node{
+			Name:    "quantize_" + in,
+			OpType:  "QuantizeLinear",
+			Inputs:  []string{in, scaleFor(in)},
+			Outputs: []string{q},
+		})
+		inserted++
+	}
+	// Outputs: dequantize back to fp32.
+	for _, out := range floatOutputs {
+		t := g.Tensor(out)
+		dq := out + "_dequantized"
+		g.AddTensor(&graph.Tensor{Name: dq, DType: graph.Float32, Shape: t.Shape.Clone()})
+		g.AddNode(&graph.Node{
+			Name:    "dequantize_" + out,
+			OpType:  "DequantizeLinear",
+			Inputs:  []string{out, scaleFor(out)},
+			Outputs: []string{dq},
+		})
+		for j, o := range g.Outputs {
+			if o == out {
+				g.Outputs[j] = dq
+			}
+		}
+		inserted++
+	}
+	if err := g.InferShapes(); err != nil {
+		return inserted, fmt.Errorf("graphops: quantized graph inference: %w", err)
+	}
+	return inserted, nil
+}
+
+// IsQuantized reports whether the graph contains quantization boundary
+// nodes.
+func IsQuantized(g *graph.Graph) bool {
+	for _, n := range g.Nodes {
+		if n.OpType == "QuantizeLinear" || n.OpType == "DequantizeLinear" {
+			return true
+		}
+	}
+	return false
+}

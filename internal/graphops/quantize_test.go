@@ -1,0 +1,73 @@
+package graphops
+
+import (
+	"testing"
+
+	"proof/internal/graph"
+	"proof/internal/models"
+)
+
+func TestQuantizeInt8(t *testing.T) {
+	g, err := models.Build("resnet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted, err := QuantizeInt8(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted != 2 { // one input, one output
+		t.Errorf("inserted %d Q/DQ nodes, want 2", inserted)
+	}
+	if !IsQuantized(g) {
+		t.Error("IsQuantized should report true")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid after quantization: %v", err)
+	}
+	// Boundary stays fp32; interior weights are int8.
+	if g.Tensor("input").DType != graph.Float32 {
+		t.Error("graph input must stay fp32")
+	}
+	if g.Tensor(g.Outputs[0]).DType != graph.Float32 {
+		t.Error("graph output must be fp32 after dequantize")
+	}
+	if g.Tensor("stem_conv_w").DType != graph.Int8 {
+		t.Error("weights must be int8")
+	}
+	// Double quantization is rejected.
+	if _, err := QuantizeInt8(g); err == nil {
+		t.Error("re-quantization must error")
+	}
+}
+
+func TestQuantizedModelProfilesEndToEnd(t *testing.T) {
+	// The quantized graph must flow through shape inference and
+	// analysis (core integration is covered in internal/core tests).
+	g, err := models.Build("mobilenetv2-1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QuantizeInt8(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	// Activation bytes shrink ~4x vs fp32 (int8 interior).
+	var int8Bytes, fp32Bytes int64
+	for _, tens := range g.Tensors {
+		if tens.Param {
+			continue
+		}
+		switch tens.DType {
+		case graph.Int8:
+			int8Bytes += tens.Bytes()
+		case graph.Float32:
+			fp32Bytes += tens.Bytes()
+		}
+	}
+	if int8Bytes <= fp32Bytes {
+		t.Errorf("interior should dominate: int8 %d vs fp32 %d", int8Bytes, fp32Bytes)
+	}
+}

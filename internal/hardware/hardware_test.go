@@ -1,0 +1,163 @@
+package hardware
+
+import (
+	"testing"
+
+	"proof/internal/graph"
+)
+
+func TestAllPlatformsRegistered(t *testing.T) {
+	want := []string{"a100", "rtx4090", "xeon-6330", "xavier-nx", "orin-nx", "rpi4b", "npu3720"}
+	list := List()
+	if len(list) != len(want) {
+		t.Fatalf("List() = %d platforms, want %d", len(list), len(want))
+	}
+	for i, k := range want {
+		if list[i].Key != k {
+			t.Errorf("List()[%d] = %s, want %s", i, list[i].Key, k)
+		}
+	}
+	for _, p := range list {
+		if p.PeakFLOPS[graph.Float32] <= 0 {
+			t.Errorf("%s: missing fp32 peak", p.Key)
+		}
+		if p.MemBW <= 0 || p.KernelOverhead <= 0 {
+			t.Errorf("%s: missing bandwidth or overhead", p.Key)
+		}
+		if p.MaxComputeEff <= 0 || p.MaxComputeEff > 1 || p.MaxMemEff <= 0 || p.MaxMemEff > 1 {
+			t.Errorf("%s: efficiency out of (0,1]", p.Key)
+		}
+		if p.DefaultBatch < 1 || !p.DefaultDType.Valid() {
+			t.Errorf("%s: bad default config", p.Key)
+		}
+		if p.Runtime == "" {
+			t.Errorf("%s: no runtime", p.Key)
+		}
+	}
+}
+
+func TestLookupAndGet(t *testing.T) {
+	if _, ok := Lookup("a100"); !ok {
+		t.Error("a100 missing")
+	}
+	if _, ok := Lookup("h100"); ok {
+		t.Error("h100 should not exist")
+	}
+	if _, err := Get("h100"); err == nil {
+		t.Error("Get should error on unknown platform")
+	}
+	p, err := Get("orin-nx")
+	if err != nil || p.Key != "orin-nx" {
+		t.Fatalf("Get(orin-nx) = %v, %v", p, err)
+	}
+}
+
+func TestPeakAtClockScaling(t *testing.T) {
+	p, _ := Get("orin-nx")
+	full := p.PeakAt(graph.Float16, 0)
+	if full != p.PeakFLOPS[graph.Float16] {
+		t.Error("PeakAt(0) must be max peak")
+	}
+	half := p.PeakAt(graph.Float16, 459)
+	if ratio := half / full; ratio < 0.49 || ratio > 0.51 {
+		t.Errorf("half-clock peak ratio = %v", ratio)
+	}
+	// Fixed-clock platform ignores the clock argument.
+	a, _ := Get("a100")
+	if a.PeakAt(graph.Float16, 500) != a.PeakFLOPS[graph.Float16] {
+		t.Error("fixed platform must ignore GPU clock")
+	}
+	// Unknown dtype falls back to fp32.
+	if a.PeakAt(graph.Int64, 0) != a.PeakFLOPS[graph.Float32] {
+		t.Error("unknown dtype should fall back to fp32 peak")
+	}
+}
+
+func TestBWAtClockScaling(t *testing.T) {
+	p, _ := Get("orin-nx")
+	if p.BWAt(0) != p.MemBW {
+		t.Error("BWAt(0) must be max")
+	}
+	bw := p.BWAt(2133)
+	want := p.MemBW * 2133 / 3199
+	if rel := bw / want; rel < 0.999 || rel > 1.001 {
+		t.Errorf("BWAt(2133) = %v, want %v", bw, want)
+	}
+}
+
+func TestDefaultClocks(t *testing.T) {
+	p, _ := Get("orin-nx")
+	clk := p.DefaultClocks()
+	if clk.GPUMHz != 918 || clk.EMCMHz != 3199 {
+		t.Errorf("DefaultClocks = %+v", clk)
+	}
+	a, _ := Get("a100")
+	if a.DefaultClocks().GPUMHz != 0 {
+		t.Error("fixed platform default clocks should be zero")
+	}
+}
+
+func TestPowerModelMatchesTable6(t *testing.T) {
+	p, _ := Get("orin-nx")
+	// Table 6 operating points (peak test, full utilization, one CPU
+	// cluster): clock pairs -> published watts.
+	cases := []struct {
+		gpu, emc int
+		want     float64
+	}{
+		{918, 3199, 23.6},
+		{918, 2133, 21.3},
+		{510, 3199, 15.7},
+		{510, 2133, 13.6},
+		{510, 665, 11.5},
+	}
+	for _, c := range cases {
+		got, err := p.EstimatePower(Clocks{GPUMHz: c.gpu, EMCMHz: c.emc, CPUClusters: 1}, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := got / c.want; rel < 0.90 || rel > 1.10 {
+			t.Errorf("power(%d,%d) = %.1f W, paper %.1f W (off by >10%%)", c.gpu, c.emc, got, c.want)
+		}
+	}
+}
+
+func TestPowerMonotonicity(t *testing.T) {
+	p, _ := Get("orin-nx")
+	base, _ := p.EstimatePower(Clocks{GPUMHz: 510, EMCMHz: 2133, CPUClusters: 1}, 1, 1)
+	hi, _ := p.EstimatePower(Clocks{GPUMHz: 918, EMCMHz: 2133, CPUClusters: 1}, 1, 1)
+	if hi <= base {
+		t.Error("higher GPU clock must draw more power")
+	}
+	idle, _ := p.EstimatePower(Clocks{GPUMHz: 918, EMCMHz: 2133, CPUClusters: 1}, 0, 0)
+	if idle >= hi {
+		t.Error("idle must draw less than loaded")
+	}
+	two, _ := p.EstimatePower(Clocks{GPUMHz: 918, EMCMHz: 2133, CPUClusters: 2}, 1, 1)
+	if two <= hi {
+		t.Error("second CPU cluster must add power")
+	}
+	if _, err := List()[0].EstimatePower(Clocks{}, 1, 1); err == nil {
+		t.Error("platform without power model should error")
+	}
+}
+
+func TestRidgeAI(t *testing.T) {
+	a, _ := Get("a100")
+	ridge := a.RidgeAI(graph.Float16)
+	// 312e12 / 1555e9 ~ 200 FLOP/byte.
+	if ridge < 150 || ridge > 250 {
+		t.Errorf("A100 fp16 ridge = %.1f", ridge)
+	}
+}
+
+func TestSupports(t *testing.T) {
+	npu, _ := Get("npu3720")
+	if !npu.Supports("CNN") || npu.Supports("Trans.") {
+		t.Error("NPU should support CNN but not transformers")
+	}
+	a, _ := Get("a100")
+	if !a.Supports("Trans.") || !a.Supports("Diffu.") {
+		t.Error("A100 supports everything")
+	}
+}

@@ -1,0 +1,276 @@
+// Package hardware models the seven evaluation platforms of the paper's
+// Table 2: peak compute per data type, memory bandwidth, on-chip memory,
+// per-layer launch overhead, tensor-core architecture, and — for the
+// Jetson Orin NX — DVFS clock domains and a power model calibrated to
+// the operating points published in Tables 6 and 7.
+//
+// The numbers are derived from the platforms' public specifications;
+// latency simulation (internal/sim) derates them with per-op-class
+// efficiency factors, which is what makes the roofline *shapes* of the
+// paper reproduce.
+package hardware
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"proof/internal/graph"
+)
+
+// TensorCoreInfo describes a platform's matrix-math units, including the
+// per-architecture FLOP count of one HMMA/IMMA instruction — the datum
+// NCU gets wrong (§4.2) and internal/ncusim reproduces.
+type TensorCoreInfo struct {
+	// Arch is the GPU architecture ("volta", "ampere", "ada").
+	Arch string
+	// FLOPPerMMA is the number of FLOP one HMMA/IMMA instruction
+	// performs on this architecture (fp16 dense).
+	FLOPPerMMA int
+}
+
+// ClockDomains describes the tunable clock domains of a DVFS platform
+// (the Jetson Orin NX in the paper).
+type ClockDomains struct {
+	// GPUMaxMHz is the maximum GPU core clock.
+	GPUMaxMHz int
+	// GPUOptionsMHz are the selectable GPU clock steps.
+	GPUOptionsMHz []int
+	// EMCMaxMHz is the maximum memory (EMC) clock.
+	EMCMaxMHz int
+	// EMCOptionsMHz are the selectable memory clock steps.
+	EMCOptionsMHz []int
+	// CPUMaxMHz is the maximum CPU cluster clock.
+	CPUMaxMHz int
+}
+
+// Clocks is one concrete clock configuration.
+type Clocks struct {
+	// GPUMHz and EMCMHz are the GPU and memory clocks.
+	GPUMHz int
+	EMCMHz int
+	// CPUMHz is the CPU cluster clock (0 = default).
+	CPUMHz int
+	// CPUClusters is the number of powered CPU clusters (Table 7's
+	// "729/off" = 1, "729/729" = 2).
+	CPUClusters int
+	// GPUCapacity is the fraction of GPU TPCs enabled (0 = all). The
+	// Jetson stock "15W" profile sets the undocumented TPC_PG_MASK to
+	// 252, disabling part of the GPU — slower but lower-power than
+	// the same clocks with all TPCs (§4.6, Table 7 #2 vs #7).
+	GPUCapacity float64
+}
+
+// Capacity returns the effective GPU capacity fraction in (0, 1].
+func (c Clocks) Capacity() float64 {
+	if c.GPUCapacity <= 0 || c.GPUCapacity > 1 {
+		return 1
+	}
+	return c.GPUCapacity
+}
+
+// PowerModel estimates platform power draw for a clock configuration
+// and utilization, calibrated against Table 6 (peak test) and Table 7
+// (EfficientNetV2-T) of the paper.
+type PowerModel struct {
+	// StaticW is the always-on baseline.
+	StaticW float64
+	// CPUClusterW is the draw per active CPU cluster.
+	CPUClusterW float64
+	// GPUMaxW is the GPU draw at maximum clock under full load.
+	GPUMaxW float64
+	// GPUExp is the exponent of the clock/power curve.
+	GPUExp float64
+	// EMCWPerMHz is the memory-subsystem draw per MHz under load.
+	EMCWPerMHz float64
+	// GPUIdleFrac / EMCIdleFrac are the fractions drawn at zero
+	// utilization (clock gating is imperfect).
+	GPUIdleFrac float64
+	EMCIdleFrac float64
+}
+
+// Platform describes one evaluation hardware platform.
+type Platform struct {
+	// Key is the canonical lookup key ("a100", "orin-nx", ...).
+	Key string
+	// Name and Scenario mirror Table 2.
+	Name     string
+	Scenario string
+	// Arch is the micro-architecture family ("ampere", "x86-avx512",
+	// "cortex-a72", ...).
+	Arch string
+	// Runtime is the default backend key ("trtsim", "ovsim",
+	// "ortsim"), mirroring Table 2's runtime column.
+	Runtime string
+	// PeakFLOPS maps data type to peak FLOP/s (or OP/s for integer
+	// types) at maximum clocks.
+	PeakFLOPS map[graph.DataType]float64
+	// MemBW is the theoretical DRAM bandwidth in B/s at max clocks.
+	MemBW float64
+	// SRAMBytes is the last-level on-chip memory.
+	SRAMBytes int64
+	// KernelOverhead is the fixed per-layer launch/dispatch cost.
+	KernelOverhead time.Duration
+	// MaxComputeEff and MaxMemEff are the achievable fractions of
+	// peak compute / bandwidth for ideal kernels (the "achieved
+	// roofline" of Table 6 relative to the datasheet numbers).
+	MaxComputeEff float64
+	MaxMemEff     float64
+	// IssueBWPerMHz caps achievable bandwidth by the GPU core clock:
+	// copy kernels can only issue so many memory transactions per
+	// cycle, so down-clocking the GPU also lowers attained bandwidth
+	// (Table 6, #1 vs #3). Zero disables the cap.
+	IssueBWPerMHz float64
+	// TensorCore is non-nil for platforms with matrix units.
+	TensorCore *TensorCoreInfo
+	// DefaultDType and DefaultBatch are the paper's per-platform
+	// evaluation configuration ("a batch size and data type that is
+	// reasonable and fully utilizes the hardware").
+	DefaultDType graph.DataType
+	DefaultBatch int
+	// Clocks is non-nil for DVFS-tunable platforms.
+	Clocks *ClockDomains
+	// Power is non-nil when a power model is calibrated.
+	Power *PowerModel
+	// SupportedTypes optionally restricts model families (the NPU in
+	// §4.3 runs only a small portion of models); nil = all.
+	SupportedTypes map[string]bool
+}
+
+// PeakAt returns the peak FLOP/s for a data type at the given GPU clock
+// (0 = maximum). Unlisted data types fall back to Float32.
+func (p *Platform) PeakAt(dt graph.DataType, gpuMHz int) float64 {
+	peak, ok := p.PeakFLOPS[dt]
+	if !ok {
+		peak = p.PeakFLOPS[graph.Float32]
+	}
+	if p.Clocks == nil || gpuMHz <= 0 || p.Clocks.GPUMaxMHz == 0 {
+		return peak
+	}
+	return peak * float64(gpuMHz) / float64(p.Clocks.GPUMaxMHz)
+}
+
+// BWAt returns the DRAM bandwidth at the given memory clock (0 = max).
+func (p *Platform) BWAt(emcMHz int) float64 {
+	if p.Clocks == nil || emcMHz <= 0 || p.Clocks.EMCMaxMHz == 0 {
+		return p.MemBW
+	}
+	return p.MemBW * float64(emcMHz) / float64(p.Clocks.EMCMaxMHz)
+}
+
+// IssueBWLimit returns the GPU-clock-bound achievable bandwidth cap in
+// B/s, or +Inf when the platform has no issue-rate model or the clock
+// is unspecified.
+func (p *Platform) IssueBWLimit(gpuMHz int) float64 {
+	if p.IssueBWPerMHz <= 0 || gpuMHz <= 0 {
+		return math.Inf(1)
+	}
+	return p.IssueBWPerMHz * float64(gpuMHz)
+}
+
+// DefaultClocks returns the maximum-performance clock configuration.
+func (p *Platform) DefaultClocks() Clocks {
+	if p.Clocks == nil {
+		return Clocks{CPUClusters: 1}
+	}
+	return Clocks{
+		GPUMHz:      p.Clocks.GPUMaxMHz,
+		EMCMHz:      p.Clocks.EMCMaxMHz,
+		CPUMHz:      p.Clocks.CPUMaxMHz,
+		CPUClusters: 1,
+	}
+}
+
+// EstimatePower returns the estimated power draw in watts for a clock
+// configuration at the given GPU and memory utilizations (each in
+// [0,1]).
+func (p *Platform) EstimatePower(clk Clocks, utilGPU, utilMem float64) (float64, error) {
+	if p.Power == nil {
+		return 0, fmt.Errorf("hardware: no power model for %s", p.Key)
+	}
+	pm := p.Power
+	clamp := func(v float64) float64 { return math.Max(0, math.Min(1, v)) }
+	utilGPU, utilMem = clamp(utilGPU), clamp(utilMem)
+
+	w := pm.StaticW
+	clusters := clk.CPUClusters
+	if clusters <= 0 {
+		clusters = 1
+	}
+	w += float64(clusters) * pm.CPUClusterW
+
+	gpuMax := 1.0
+	if p.Clocks != nil && p.Clocks.GPUMaxMHz > 0 && clk.GPUMHz > 0 {
+		gpuMax = float64(clk.GPUMHz) / float64(p.Clocks.GPUMaxMHz)
+	}
+	gpuW := pm.GPUMaxW * math.Pow(gpuMax, pm.GPUExp)
+	// Power-gated TPCs draw (almost) nothing.
+	gpuW *= 0.45 + 0.55*clk.Capacity()
+	w += gpuW * (pm.GPUIdleFrac + (1-pm.GPUIdleFrac)*utilGPU)
+
+	emc := 0.0
+	if clk.EMCMHz > 0 {
+		emc = float64(clk.EMCMHz)
+	} else if p.Clocks != nil {
+		emc = float64(p.Clocks.EMCMaxMHz)
+	}
+	emcW := pm.EMCWPerMHz * emc
+	w += emcW * (pm.EMCIdleFrac + (1-pm.EMCIdleFrac)*utilMem)
+	return w, nil
+}
+
+// Supports reports whether the platform runs models of the given family
+// type ("CNN", "Trans.", ...).
+func (p *Platform) Supports(modelType string) bool {
+	if p.SupportedTypes == nil {
+		return true
+	}
+	return p.SupportedTypes[modelType]
+}
+
+// RidgeAI returns the arithmetic intensity (FLOP/byte) where the
+// roofline's compute and bandwidth ceilings meet, for the given dtype.
+func (p *Platform) RidgeAI(dt graph.DataType) float64 {
+	return p.PeakAt(dt, 0) / p.MemBW
+}
+
+var platforms = map[string]*Platform{}
+
+func register(p *Platform) {
+	if _, dup := platforms[p.Key]; dup {
+		panic(fmt.Sprintf("hardware: duplicate platform %q", p.Key))
+	}
+	platforms[p.Key] = p
+}
+
+// Lookup returns the platform for a key.
+func Lookup(key string) (*Platform, bool) {
+	p, ok := platforms[key]
+	return p, ok
+}
+
+// Get returns the platform or an error naming the valid keys.
+func Get(key string) (*Platform, error) {
+	if p, ok := platforms[key]; ok {
+		return p, nil
+	}
+	keys := make([]string, 0, len(platforms))
+	for k := range platforms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return nil, fmt.Errorf("hardware: unknown platform %q (have %v)", key, keys)
+}
+
+// List returns all platforms in Table 2 order.
+func List() []*Platform {
+	order := []string{"a100", "rtx4090", "xeon-6330", "xavier-nx", "orin-nx", "rpi4b", "npu3720"}
+	out := make([]*Platform, 0, len(order))
+	for _, k := range order {
+		if p, ok := platforms[k]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

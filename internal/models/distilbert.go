@@ -1,0 +1,92 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"proof/internal/graph"
+)
+
+// BuildDistilBERT constructs DistilBERT-base [Sanh et al. 2019] for the
+// given sequence length (the paper's Table 3 GFLOP corresponds to
+// seq=512), batch 1: 6 transformer encoder layers, hidden 768, 12 heads,
+// FFN 3072, with separate Q/K/V projections as the HuggingFace export
+// emits. The output is the final hidden state (DistilBertModel, no task
+// head), matching Table 3's 67M parameters.
+func BuildDistilBERT(seq int) (*graph.Graph, error) {
+	return buildBERTEncoder("distilbert", seq, 6)
+}
+
+// BuildBERTBase constructs a 12-layer BERT-base-sized encoder (a zoo
+// extra beyond the paper's Table 3, for scale comparisons).
+func BuildBERTBase(seq int) (*graph.Graph, error) {
+	return buildBERTEncoder("bert-base", seq, 12)
+}
+
+func buildBERTEncoder(name string, seq, layers int) (*graph.Graph, error) {
+	if seq < 1 {
+		return nil, fmt.Errorf("models: invalid sequence length %d", seq)
+	}
+	if layers < 1 {
+		return nil, fmt.Errorf("models: invalid layer count %d", layers)
+	}
+	const (
+		vocab  = 30522
+		dim    = 768
+		heads  = 12
+		ffn    = 3072
+		maxPos = 512
+	)
+	b := NewBuilder(name)
+	ids := b.Input("input_ids", graph.Int64, 1, seq)
+
+	// Embeddings: word + position, then LayerNorm.
+	wordEmb := b.Embedding(ids, vocab, dim, "word_embeddings")
+	posIdx := make([]int64, seq)
+	for i := range posIdx {
+		posIdx[i] = int64(i % maxPos)
+	}
+	posIds := b.IntConst("position_ids", posIdx...)
+	posEmb := b.Embedding(posIds, maxPos, dim, "position_embeddings")
+	x := b.Add(wordEmb, posEmb, "embeddings_add")
+	x = b.LayerNorm(x, "embeddings_ln")
+
+	for i := 0; i < layers; i++ {
+		x = bertLayer(b, x, dim, heads, ffn, seq, fmt.Sprintf("layer%d", i))
+	}
+
+	b.MarkOutput(x)
+	return b.Finish()
+}
+
+// bertLayer is one post-norm transformer encoder layer with separate
+// Q/K/V projections.
+func bertLayer(b *Builder, x string, dim, heads, ffn, seq int, prefix string) string {
+	headDim := dim / heads
+
+	q := b.Linear(x, dim, true, prefix+"_q")
+	k := b.Linear(x, dim, true, prefix+"_k")
+	v := b.Linear(x, dim, true, prefix+"_v")
+	reshape := func(t string) string {
+		t = b.Reshape(t, 0, seq, heads, headDim)
+		return b.Transpose(t, 0, 2, 1, 3)
+	}
+	qh, kh, vh := reshape(q), reshape(k), reshape(v)
+	kT := b.Transpose(kh, 0, 1, 3, 2)
+	scores := b.MatMul(qh, kT, prefix+"_qk")
+	scale := b.scalarConst(prefix+"_scale", 1/math.Sqrt(float64(headDim)))
+	scores = b.Div(scores, scale, prefix+"_scale_div")
+	attn := b.Softmax(scores, -1, prefix+"_softmax")
+	ctx := b.MatMul(attn, vh, prefix+"_av")
+	ctx = b.Transpose(ctx, 0, 2, 1, 3)
+	ctx = b.Reshape(ctx, 0, seq, dim)
+	ctx = b.Linear(ctx, dim, true, prefix+"_out")
+	x = b.Add(x, ctx, prefix+"_attn_residual")
+	x = b.LayerNorm(x, prefix+"_attn_ln")
+
+	f := b.Linear(x, ffn, true, prefix+"_ffn_fc1")
+	f = b.Gelu(f, prefix+"_ffn_gelu")
+	f = b.Linear(f, dim, true, prefix+"_ffn_fc2")
+	x = b.Add(x, f, prefix+"_ffn_residual")
+	return b.LayerNorm(x, prefix+"_ffn_ln")
+}

@@ -1,0 +1,177 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"proof/internal/graph"
+)
+
+// mbStage describes one EfficientNet stage.
+type mbStage struct {
+	expand  int
+	out     int
+	repeats int
+	stride  int
+	kernel  int
+	fused   bool // Fused-MBConv (EfficientNetV2) instead of MBConv
+	se      bool // squeeze-and-excitation
+}
+
+// BuildEfficientNet constructs EfficientNet-B0 or B4 [Tan & Le 2019] at
+// 224x224, batch 1 (the paper evaluates B4 at 224 — its Table 3 GFLOP
+// matches 224, not the native 380 resolution).
+func BuildEfficientNet(variant string) (*graph.Graph, error) {
+	var widthMult, depthMult float64
+	switch variant {
+	case "b0":
+		widthMult, depthMult = 1.0, 1.0
+	case "b4":
+		widthMult, depthMult = 1.4, 1.8
+	default:
+		return nil, fmt.Errorf("models: unsupported EfficientNet variant %q", variant)
+	}
+	base := []mbStage{
+		{1, 16, 1, 1, 3, false, true},
+		{6, 24, 2, 2, 3, false, true},
+		{6, 40, 2, 2, 5, false, true},
+		{6, 80, 3, 2, 3, false, true},
+		{6, 112, 3, 1, 5, false, true},
+		{6, 192, 4, 2, 5, false, true},
+		{6, 320, 1, 1, 3, false, true},
+	}
+	stages := make([]mbStage, len(base))
+	for i, s := range base {
+		s.out = makeDivisible(float64(s.out)*widthMult, 8)
+		s.repeats = int(math.Ceil(float64(s.repeats) * depthMult))
+		stages[i] = s
+	}
+	stem := makeDivisible(32*widthMult, 8)
+	head := makeDivisible(1280*widthMult, 8)
+	return buildEfficientNetFamily("efficientnet-"+variant, stem, head, stages)
+}
+
+// BuildEfficientNetV2 constructs EfficientNetV2-T or S [Tan & Le 2021] at
+// 224x224, batch 1. The early stages use Fused-MBConv: the depth-wise +
+// point-wise pair is replaced with a single traditional convolution —
+// the §4.4 insight about depth-wise convolutions' low arithmetic
+// intensity made concrete.
+func BuildEfficientNetV2(variant string) (*graph.Graph, error) {
+	var stages []mbStage
+	var stem, head int
+	switch variant {
+	case "t": // timm efficientnetv2_rw_t
+		stem, head = 24, 1024
+		stages = []mbStage{
+			{1, 24, 2, 1, 3, true, false},
+			{4, 40, 4, 2, 3, true, false},
+			{4, 48, 4, 2, 3, true, false},
+			{4, 104, 6, 2, 3, false, true},
+			{6, 128, 9, 1, 3, false, true},
+			{6, 208, 14, 2, 3, false, true},
+		}
+	case "s":
+		stem, head = 24, 1280
+		stages = []mbStage{
+			{1, 24, 2, 1, 3, true, false},
+			{4, 48, 4, 2, 3, true, false},
+			{4, 64, 4, 2, 3, true, false},
+			{4, 128, 6, 2, 3, false, true},
+			{6, 160, 9, 1, 3, false, true},
+			{6, 256, 15, 2, 3, false, true},
+		}
+	default:
+		return nil, fmt.Errorf("models: unsupported EfficientNetV2 variant %q", variant)
+	}
+	return buildEfficientNetFamily("efficientnetv2-"+variant, stem, head, stages)
+}
+
+func buildEfficientNetFamily(name string, stem, head int, stages []mbStage) (*graph.Graph, error) {
+	b := NewBuilder(name)
+	x := b.Input("input", graph.Float32, 1, 3, 224, 224)
+	x = b.Conv(x, stem, 3, 2, 1, 1, true, "stem_conv")
+	x = b.SiLU(x, "stem_silu")
+
+	blockIdx := 0
+	for _, stage := range stages {
+		for i := 0; i < stage.repeats; i++ {
+			stride := 1
+			if i == 0 {
+				stride = stage.stride
+			}
+			prefix := fmt.Sprintf("block%d", blockIdx)
+			if stage.fused {
+				x = fusedMBConv(b, x, stage.out, stage.expand, stride, stage.kernel, prefix)
+			} else {
+				x = mbConv(b, x, stage.out, stage.expand, stride, stage.kernel, stage.se, prefix)
+			}
+			blockIdx++
+		}
+	}
+
+	x = b.Conv(x, head, 1, 1, 0, 1, true, "head_conv")
+	x = b.SiLU(x, "head_silu")
+	x = b.GAP(x, "gap")
+	x = b.Flatten(x, 1, "flatten")
+	x = b.FC(x, 1000, true, "classifier")
+	b.MarkOutput(x)
+	return b.Finish()
+}
+
+// mbConv is the inverted-bottleneck MBConv block with optional SE.
+func mbConv(b *Builder, x string, cout, expand, stride, kernel int, se bool, prefix string) string {
+	cin := b.Channels(x)
+	identity := x
+	y := x
+	if expand != 1 {
+		y = b.Conv(y, cin*expand, 1, 1, 0, 1, true, prefix+"_expand")
+		y = b.SiLU(y, prefix+"_expand_silu")
+	}
+	mid := b.Channels(y)
+	y = b.Conv(y, mid, kernel, stride, kernel/2, mid, true, prefix+"_dw")
+	y = b.SiLU(y, prefix+"_dw_silu")
+	if se {
+		y = seBlock(b, y, cin/4, prefix+"_se")
+	}
+	y = b.Conv(y, cout, 1, 1, 0, 1, true, prefix+"_project")
+	if stride == 1 && cin == cout {
+		y = b.Add(y, identity, prefix+"_add")
+	}
+	return y
+}
+
+// fusedMBConv replaces the depth-wise + expand pair with one traditional
+// convolution (EfficientNetV2's change back toward higher arithmetic
+// intensity).
+func fusedMBConv(b *Builder, x string, cout, expand, stride, kernel int, prefix string) string {
+	cin := b.Channels(x)
+	identity := x
+	var y string
+	if expand != 1 {
+		y = b.Conv(x, cin*expand, kernel, stride, kernel/2, 1, true, prefix+"_fused")
+		y = b.SiLU(y, prefix+"_fused_silu")
+		y = b.Conv(y, cout, 1, 1, 0, 1, true, prefix+"_project")
+	} else {
+		y = b.Conv(x, cout, kernel, stride, kernel/2, 1, true, prefix+"_fused")
+		y = b.SiLU(y, prefix+"_fused_silu")
+	}
+	if stride == 1 && cin == cout {
+		y = b.Add(y, identity, prefix+"_add")
+	}
+	return y
+}
+
+// seBlock is squeeze-and-excitation: GAP -> 1x1 reduce -> SiLU -> 1x1
+// expand -> Sigmoid -> channel-wise Mul.
+func seBlock(b *Builder, x string, reduced int, prefix string) string {
+	if reduced < 1 {
+		reduced = 1
+	}
+	c := b.Channels(x)
+	s := b.GAP(x, prefix+"_squeeze")
+	s = b.Conv(s, reduced, 1, 1, 0, 1, true, prefix+"_reduce")
+	s = b.SiLU(s, prefix+"_silu")
+	s = b.Conv(s, c, 1, 1, 0, 1, true, prefix+"_expand")
+	s = b.Sigmoid(s, prefix+"_gate")
+	return b.Mul(x, s, prefix+"_scale")
+}

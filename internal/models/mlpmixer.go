@@ -1,0 +1,54 @@
+package models
+
+import (
+	"fmt"
+
+	"proof/internal/graph"
+)
+
+// BuildMLPMixerB16 constructs MLP-Mixer B/16 [Tolstikhin et al. 2021] at
+// 224x224, batch 1: 12 mixer blocks of token-mixing and channel-mixing
+// MLPs over 196 patch tokens of width 768.
+func BuildMLPMixerB16() (*graph.Graph, error) {
+	const (
+		img        = 224
+		patch      = 16
+		dim        = 768
+		depth      = 12
+		tokenMLP   = 384
+		channelMLP = 3072
+	)
+	tokens := (img / patch) * (img / patch)
+
+	b := NewBuilder("mlp-mixer-b16")
+	x := b.Input("input", graph.Float32, 1, 3, img, img)
+	x = b.Conv(x, dim, patch, patch, 0, 1, true, "patch_embed")
+	x = b.Reshape(x, 0, dim, tokens)
+	x = b.Transpose(x, 0, 2, 1) // [N, tokens, dim]
+
+	for i := 0; i < depth; i++ {
+		prefix := fmt.Sprintf("block%d", i)
+		// Token mixing: transpose to [N, dim, tokens], MLP over
+		// tokens, transpose back.
+		t := b.LayerNorm(x, prefix+"_ln1")
+		t = b.Transpose(t, 0, 2, 1)
+		t = b.Linear(t, tokenMLP, true, prefix+"_token_fc1")
+		t = b.Gelu(t, prefix+"_token_gelu")
+		t = b.Linear(t, tokens, true, prefix+"_token_fc2")
+		t = b.Transpose(t, 0, 2, 1)
+		x = b.Add(x, t, prefix+"_token_residual")
+
+		// Channel mixing: standard MLP over the channel dim.
+		c := b.LayerNorm(x, prefix+"_ln2")
+		c = b.Linear(c, channelMLP, true, prefix+"_channel_fc1")
+		c = b.Gelu(c, prefix+"_channel_gelu")
+		c = b.Linear(c, dim, true, prefix+"_channel_fc2")
+		x = b.Add(x, c, prefix+"_channel_residual")
+	}
+
+	x = b.LayerNorm(x, "final_ln")
+	x = b.ReduceMean(x, []int{1}, false, "pool")
+	out := b.FC(x, 1000, true, "head")
+	b.MarkOutput(out)
+	return b.Finish()
+}

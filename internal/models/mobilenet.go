@@ -1,0 +1,88 @@
+package models
+
+import (
+	"fmt"
+
+	"proof/internal/graph"
+)
+
+// makeDivisible rounds channel counts to a multiple of divisor without
+// dropping more than 10%, following the MobileNet reference code.
+func makeDivisible(v float64, divisor int) int {
+	nv := int(v+float64(divisor)/2) / divisor * divisor
+	if nv < divisor {
+		nv = divisor
+	}
+	if float64(nv) < 0.9*v {
+		nv += divisor
+	}
+	return nv
+}
+
+// BuildMobileNetV2 constructs MobileNetV2 [Sandler et al. 2018] at the
+// given width multiplier (0.5 or 1.0 in Table 3), 224x224, batch 1.
+func BuildMobileNetV2(width float64) (*graph.Graph, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("models: invalid MobileNetV2 width %v", width)
+	}
+	// (expansion t, output channels c, repeats n, first stride s)
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	b := NewBuilder(fmt.Sprintf("mobilenetv2-%g", width))
+	x := b.Input("input", graph.Float32, 1, 3, 224, 224)
+
+	stem := makeDivisible(32*width, 8)
+	x = b.Conv(x, stem, 3, 2, 1, 1, true, "stem_conv")
+	x = b.Relu6(x, "stem_relu6")
+
+	blockIdx := 0
+	for _, stage := range cfg {
+		cout := makeDivisible(float64(stage.c)*width, 8)
+		for i := 0; i < stage.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = stage.s
+			}
+			x = invertedResidual(b, x, cout, stage.t, stride, fmt.Sprintf("block%d", blockIdx))
+			blockIdx++
+		}
+	}
+
+	head := makeDivisible(1280*width, 8)
+	if head < 1280 {
+		head = 1280 // v2 keeps the head at 1280 for width < 1
+	}
+	x = b.Conv(x, head, 1, 1, 0, 1, true, "head_conv")
+	x = b.Relu6(x, "head_relu6")
+	x = b.GAP(x, "gap")
+	x = b.Flatten(x, 1, "flatten")
+	x = b.FC(x, 1000, true, "classifier")
+	b.MarkOutput(x)
+	return b.Finish()
+}
+
+// invertedResidual is MobileNetV2's expand -> depthwise -> project block
+// with a residual connection when stride is 1 and channels match.
+func invertedResidual(b *Builder, x string, cout, expand, stride int, prefix string) string {
+	cin := b.Channels(x)
+	identity := x
+	y := x
+	if expand != 1 {
+		y = b.Conv(y, cin*expand, 1, 1, 0, 1, true, prefix+"_expand")
+		y = b.Relu6(y, prefix+"_expand_relu6")
+	}
+	y = b.Conv(y, b.Channels(y), 3, stride, 1, b.Channels(y), true, prefix+"_dw")
+	y = b.Relu6(y, prefix+"_dw_relu6")
+	y = b.Conv(y, cout, 1, 1, 0, 1, true, prefix+"_project")
+	if stride == 1 && cin == cout {
+		y = b.Add(y, identity, prefix+"_add")
+	}
+	return y
+}

@@ -1,0 +1,143 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"proof/internal/graph"
+)
+
+// Info describes one zoo model, including the paper's published Table 3
+// reference values for comparison in EXPERIMENTS.md.
+type Info struct {
+	// ID is the model's serial number in Table 3 (0 for extra models).
+	ID int
+	// Key is the canonical lookup key (e.g. "resnet-50").
+	Key string
+	// Name is the display name used in the paper.
+	Name string
+	// Type is the model family: CNN, Trans., MLP or Diffu.
+	Type string
+	// Build constructs the model graph at batch size 1.
+	Build func() (*graph.Graph, error)
+	// PaperNodes, PaperParamsM and PaperGFLOP are the reference values
+	// from Table 3 (ONNX node count, params in millions, GFLOP at
+	// batch 1).
+	PaperNodes   int
+	PaperParamsM float64
+	PaperGFLOP   float64
+}
+
+var registry = map[string]Info{}
+
+func register(info Info) {
+	if _, dup := registry[info.Key]; dup {
+		panic(fmt.Sprintf("models: duplicate model key %q", info.Key))
+	}
+	registry[info.Key] = info
+}
+
+// List returns all registered models ordered by Table 3 serial number,
+// with extra (non-Table 3) models at the end.
+func List() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.ID == 0) != (b.ID == 0) {
+			return b.ID == 0
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Key < b.Key
+	})
+	return out
+}
+
+// Lookup returns the Info for a model key.
+func Lookup(key string) (Info, bool) {
+	info, ok := registry[key]
+	return info, ok
+}
+
+// Build constructs the named model at batch size 1.
+func Build(key string) (*graph.Graph, error) {
+	info, ok := registry[key]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (use models.List())", key)
+	}
+	return info.Build()
+}
+
+func init() {
+	register(Info{ID: 1, Key: "distilbert", Name: "DistilBERT base", Type: "Trans.",
+		Build:      func() (*graph.Graph, error) { return BuildDistilBERT(512) },
+		PaperNodes: 435, PaperParamsM: 67.0, PaperGFLOP: 48.718})
+	register(Info{ID: 2, Key: "sd-unet", Name: "Stable Diffusion", Type: "Diffu.",
+		Build:      func() (*graph.Graph, error) { return BuildSDUNet(128) },
+		PaperNodes: 5343, PaperParamsM: 859.5, PaperGFLOP: 4747.726})
+	register(Info{ID: 3, Key: "efficientnet-b0", Name: "EfficientNet B0", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildEfficientNet("b0") },
+		PaperNodes: 239, PaperParamsM: 5.3, PaperGFLOP: 0.851})
+	register(Info{ID: 4, Key: "efficientnet-b4", Name: "EfficientNet B4", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildEfficientNet("b4") },
+		PaperNodes: 476, PaperParamsM: 19.3, PaperGFLOP: 3.209})
+	register(Info{ID: 5, Key: "efficientnetv2-t", Name: "EfficientNetV2-T", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildEfficientNetV2("t") },
+		PaperNodes: 487, PaperParamsM: 13.6, PaperGFLOP: 3.939})
+	register(Info{ID: 6, Key: "efficientnetv2-s", Name: "EfficientNetV2-S", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildEfficientNetV2("s") },
+		PaperNodes: 504, PaperParamsM: 23.9, PaperGFLOP: 6.030})
+	register(Info{ID: 7, Key: "mlp-mixer", Name: "MLP-Mixer (B/16)", Type: "MLP",
+		Build:      BuildMLPMixerB16,
+		PaperNodes: 497, PaperParamsM: 59.9, PaperGFLOP: 25.403})
+	register(Info{ID: 8, Key: "mobilenetv2-0.5", Name: "MobileNetV2 0.5", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildMobileNetV2(0.5) },
+		PaperNodes: 100, PaperParamsM: 2.0, PaperGFLOP: 0.205})
+	register(Info{ID: 9, Key: "mobilenetv2-1.0", Name: "MobileNetV2 1.0", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildMobileNetV2(1.0) },
+		PaperNodes: 100, PaperParamsM: 3.5, PaperGFLOP: 0.621})
+	register(Info{ID: 10, Key: "resnet-34", Name: "ResNet-34", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildResNet(34) },
+		PaperNodes: 89, PaperParamsM: 21.8, PaperGFLOP: 7.338})
+	register(Info{ID: 11, Key: "resnet-50", Name: "ResNet-50", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildResNet(50) },
+		PaperNodes: 122, PaperParamsM: 25.5, PaperGFLOP: 8.207})
+	register(Info{ID: 12, Key: "shufflenetv2-0.5", Name: "ShuffleNetV2 x0.5", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildShuffleNetV2(0.5, false) },
+		PaperNodes: 584, PaperParamsM: 1.4, PaperGFLOP: 0.084})
+	register(Info{ID: 13, Key: "shufflenetv2-1.0", Name: "ShuffleNetV2 x1.0", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildShuffleNetV2(1.0, false) },
+		PaperNodes: 584, PaperParamsM: 2.3, PaperGFLOP: 0.294})
+	register(Info{ID: 14, Key: "shufflenetv2-1.0-mod", Name: "Shuf. v2 x1.0 mod", Type: "CNN",
+		Build:      func() (*graph.Graph, error) { return BuildShuffleNetV2(1.0, true) },
+		PaperNodes: 156, PaperParamsM: 2.8, PaperGFLOP: 0.434})
+	register(Info{ID: 15, Key: "swin-t", Name: "Swin tiny", Type: "Trans.",
+		Build:      func() (*graph.Graph, error) { return BuildSwin("t") },
+		PaperNodes: 1465, PaperParamsM: 28.8, PaperGFLOP: 9.133})
+	register(Info{ID: 16, Key: "swin-s", Name: "Swin small", Type: "Trans.",
+		Build:      func() (*graph.Graph, error) { return BuildSwin("s") },
+		PaperNodes: 2839, PaperParamsM: 50.5, PaperGFLOP: 17.723})
+	register(Info{ID: 17, Key: "swin-b", Name: "Swin base", Type: "Trans.",
+		Build:      func() (*graph.Graph, error) { return BuildSwin("b") },
+		PaperNodes: 2839, PaperParamsM: 88.9, PaperGFLOP: 31.183})
+	register(Info{ID: 18, Key: "vit-t", Name: "ViT tiny", Type: "Trans.",
+		Build:      func() (*graph.Graph, error) { return BuildViT("t") },
+		PaperNodes: 786, PaperParamsM: 5.7, PaperGFLOP: 2.558})
+	register(Info{ID: 19, Key: "vit-s", Name: "ViT small", Type: "Trans.",
+		Build:      func() (*graph.Graph, error) { return BuildViT("s") },
+		PaperNodes: 786, PaperParamsM: 22.1, PaperGFLOP: 9.298})
+	register(Info{ID: 20, Key: "vit-b", Name: "ViT base", Type: "Trans.",
+		Build:      func() (*graph.Graph, error) { return BuildViT("b") },
+		PaperNodes: 786, PaperParamsM: 86.6, PaperGFLOP: 35.329})
+	register(Info{Key: "peak-test", Name: "Roofline peak test", Type: "Synthetic",
+		Build: BuildPeakTest})
+	// Extras beyond the paper's Table 3 (ID 0).
+	register(Info{Key: "resnet-18", Name: "ResNet-18", Type: "CNN",
+		Build: func() (*graph.Graph, error) { return BuildResNet(18) }})
+	register(Info{Key: "bert-base", Name: "BERT base", Type: "Trans.",
+		Build: func() (*graph.Graph, error) { return BuildBERTBase(512) }})
+}

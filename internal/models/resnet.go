@@ -1,0 +1,85 @@
+package models
+
+import (
+	"fmt"
+
+	"proof/internal/graph"
+)
+
+// BuildResNet constructs ResNet-18/34/50 [He et al. 2016] at
+// 224x224, batch 1. BatchNorm layers are folded into the convolutions
+// (bias-carrying convs), matching how PyTorch exports eval-mode ResNets
+// to ONNX.
+func BuildResNet(depth int) (*graph.Graph, error) {
+	var repeats [4]int
+	bottleneck := false
+	switch depth {
+	case 18:
+		repeats = [4]int{2, 2, 2, 2}
+	case 34:
+		repeats = [4]int{3, 4, 6, 3}
+	case 50:
+		repeats = [4]int{3, 4, 6, 3}
+		bottleneck = true
+	default:
+		return nil, fmt.Errorf("models: unsupported ResNet depth %d (18, 34 or 50)", depth)
+	}
+	b := NewBuilder(fmt.Sprintf("resnet-%d", depth))
+	x := b.Input("input", graph.Float32, 1, 3, 224, 224)
+
+	x = b.Conv(x, 64, 7, 2, 3, 1, true, "stem_conv")
+	x = b.Relu(x, "stem_relu")
+	x = b.MaxPool(x, 3, 2, 1, "stem_pool")
+
+	channels := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for block := 0; block < repeats[stage]; block++ {
+			stride := 1
+			if stage > 0 && block == 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("layer%d_block%d", stage+1, block)
+			if bottleneck {
+				x = bottleneckBlock(b, x, channels[stage], stride, prefix)
+			} else {
+				x = basicBlock(b, x, channels[stage], stride, prefix)
+			}
+		}
+	}
+
+	x = b.GAP(x, "gap")
+	x = b.Flatten(x, 1, "flatten")
+	x = b.FC(x, 1000, true, "fc")
+	b.MarkOutput(x)
+	return b.Finish()
+}
+
+// basicBlock is the two-conv residual block used by ResNet-18/34.
+func basicBlock(b *Builder, x string, cout, stride int, prefix string) string {
+	identity := x
+	y := b.Conv(x, cout, 3, stride, 1, 1, true, prefix+"_conv1")
+	y = b.Relu(y, prefix+"_relu1")
+	y = b.Conv(y, cout, 3, 1, 1, 1, true, prefix+"_conv2")
+	if stride != 1 || b.Channels(identity) != cout {
+		identity = b.Conv(identity, cout, 1, stride, 0, 1, true, prefix+"_downsample")
+	}
+	y = b.Add(y, identity, prefix+"_add")
+	return b.Relu(y, prefix+"_relu2")
+}
+
+// bottleneckBlock is the 1x1-3x3-1x1 block used by ResNet-50, with
+// expansion 4.
+func bottleneckBlock(b *Builder, x string, width, stride int, prefix string) string {
+	const expansion = 4
+	identity := x
+	y := b.Conv(x, width, 1, 1, 0, 1, true, prefix+"_conv1")
+	y = b.Relu(y, prefix+"_relu1")
+	y = b.Conv(y, width, 3, stride, 1, 1, true, prefix+"_conv2")
+	y = b.Relu(y, prefix+"_relu2")
+	y = b.Conv(y, width*expansion, 1, 1, 0, 1, true, prefix+"_conv3")
+	if stride != 1 || b.Channels(identity) != width*expansion {
+		identity = b.Conv(identity, width*expansion, 1, stride, 0, 1, true, prefix+"_downsample")
+	}
+	y = b.Add(y, identity, prefix+"_add")
+	return b.Relu(y, prefix+"_relu3")
+}

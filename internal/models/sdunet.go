@@ -1,0 +1,198 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"proof/internal/graph"
+)
+
+// BuildSDUNet constructs the UNet of Stable Diffusion 1.x [Rombach et
+// al. 2022] at the given latent resolution (the paper runs one UNet
+// iteration at a 128x128 latent), batch 1. Inputs are the 4-channel
+// latent, the 320-wide timestep embedding, and the 77x768 text-encoder
+// context for cross-attention.
+//
+// Architecture: model channels 320, channel multipliers [1,2,4,4], two
+// residual blocks per level, spatial transformers (self-attention +
+// cross-attention + GEGLU feed-forward) at the three highest-resolution
+// levels and in the middle block.
+func BuildSDUNet(latent int) (*graph.Graph, error) {
+	if latent < 8 || latent%8 != 0 {
+		return nil, fmt.Errorf("models: invalid latent size %d", latent)
+	}
+	const (
+		modelCh  = 320
+		embedDim = 1280 // modelCh * 4
+		ctxLen   = 77
+		ctxDim   = 768
+		heads    = 8
+	)
+	mults := []int{1, 2, 4, 4}
+
+	b := NewBuilder("sd-unet")
+	x := b.Input("latent", graph.Float32, 1, 4, latent, latent)
+	temb := b.Input("timestep_embedding", graph.Float32, 1, modelCh)
+	context := b.Input("context", graph.Float32, 1, ctxLen, ctxDim)
+
+	// Time embedding MLP: 320 -> 1280 -> 1280.
+	emb := b.FC(temb, embedDim, true, "time_fc1")
+	emb = b.SiLU(emb, "time_silu")
+	emb = b.FC(emb, embedDim, true, "time_fc2")
+
+	u := &unetBuilder{b: b, emb: emb, context: context, heads: heads}
+
+	// Input blocks.
+	h := b.Conv(x, modelCh, 3, 1, 1, 1, true, "conv_in")
+	skips := []string{h}
+	ch := modelCh
+	for level, mult := range mults {
+		cout := modelCh * mult
+		for i := 0; i < 2; i++ {
+			prefix := fmt.Sprintf("down%d_res%d", level, i)
+			h = u.resBlock(h, ch, cout, prefix)
+			ch = cout
+			if level < 3 {
+				h = u.spatialTransformer(h, ch, fmt.Sprintf("down%d_attn%d", level, i))
+			}
+			skips = append(skips, h)
+		}
+		if level < len(mults)-1 {
+			h = b.Conv(h, ch, 3, 2, 1, 1, true, fmt.Sprintf("down%d_downsample", level))
+			skips = append(skips, h)
+		}
+	}
+
+	// Middle block.
+	h = u.resBlock(h, ch, ch, "mid_res1")
+	h = u.spatialTransformer(h, ch, "mid_attn")
+	h = u.resBlock(h, ch, ch, "mid_res2")
+
+	// Output blocks.
+	for level := len(mults) - 1; level >= 0; level-- {
+		cout := modelCh * mults[level]
+		for i := 0; i < 3; i++ {
+			prefix := fmt.Sprintf("up%d_res%d", level, i)
+			skip := skips[len(skips)-1]
+			skips = skips[:len(skips)-1]
+			h = b.Concat(1, prefix+"_skip_concat", h, skip)
+			h = u.resBlock(h, b.Channels(h), cout, prefix)
+			ch = cout
+			if level < 3 {
+				h = u.spatialTransformer(h, ch, fmt.Sprintf("up%d_attn%d", level, i))
+			}
+		}
+		if level > 0 {
+			h = b.Resize2x(h, fmt.Sprintf("up%d_upsample", level))
+			h = b.Conv(h, ch, 3, 1, 1, 1, true, fmt.Sprintf("up%d_upconv", level))
+		}
+	}
+
+	// Output head.
+	h = b.GroupNorm(h, 32, "out_gn")
+	h = b.SiLU(h, "out_silu")
+	out := b.Conv(h, 4, 3, 1, 1, 1, true, "conv_out")
+	b.MarkOutput(out)
+	return b.Finish()
+}
+
+// unetBuilder carries the shared conditioning tensors through the UNet
+// block builders.
+type unetBuilder struct {
+	b       *Builder
+	emb     string
+	context string
+	heads   int
+}
+
+// resBlock is the SD residual block: GN/SiLU/Conv, timestep-embedding
+// injection, GN/SiLU/Conv, and a 1x1 skip projection on channel change.
+func (u *unetBuilder) resBlock(x string, cin, cout int, prefix string) string {
+	b := u.b
+	h := b.GroupNorm(x, 32, prefix+"_gn1")
+	h = b.SiLU(h, prefix+"_silu1")
+	h = b.Conv(h, cout, 3, 1, 1, 1, true, prefix+"_conv1")
+
+	e := b.SiLU(u.emb, prefix+"_emb_silu")
+	e = b.FC(e, cout, true, prefix+"_emb_proj")
+	e = b.Reshape(e, 0, cout, 1, 1)
+	h = b.Add(h, e, prefix+"_emb_add")
+
+	h = b.GroupNorm(h, 32, prefix+"_gn2")
+	h = b.SiLU(h, prefix+"_silu2")
+	h = b.Conv(h, cout, 3, 1, 1, 1, true, prefix+"_conv2")
+
+	if cin != cout {
+		x = b.Conv(x, cout, 1, 1, 0, 1, true, prefix+"_skip")
+	}
+	return b.Add(x, h, prefix+"_residual")
+}
+
+// spatialTransformer wraps one basic transformer block (self-attention,
+// cross-attention on the text context, GEGLU feed-forward) between 1x1
+// projections, operating on flattened spatial tokens.
+func (u *unetBuilder) spatialTransformer(x string, ch int, prefix string) string {
+	b := u.b
+	hh, ww := b.Dim(x, 2), b.Dim(x, 3)
+	residual := x
+
+	h := b.GroupNorm(x, 32, prefix+"_gn")
+	h = b.Conv(h, ch, 1, 1, 0, 1, true, prefix+"_proj_in")
+	h = b.Reshape(h, 0, ch, hh*ww)
+	h = b.Transpose(h, 0, 2, 1) // [N, tokens, ch]
+
+	// Self-attention.
+	a := b.LayerNorm(h, prefix+"_ln1")
+	a = u.attention(a, a, ch, prefix+"_self")
+	h = b.Add(h, a, prefix+"_self_residual")
+
+	// Cross-attention on the text context.
+	c := b.LayerNorm(h, prefix+"_ln2")
+	c = u.attention(c, u.context, ch, prefix+"_cross")
+	h = b.Add(h, c, prefix+"_cross_residual")
+
+	// GEGLU feed-forward: project to 8*ch, split, gate with GELU.
+	f := b.LayerNorm(h, prefix+"_ln3")
+	f = b.Linear(f, ch*8, true, prefix+"_ff_proj")
+	parts := b.Split(f, -1, 2, prefix+"_ff_split")
+	gate := b.Gelu(parts[1], prefix+"_ff_gelu")
+	f = b.Mul(parts[0], gate, prefix+"_ff_gate")
+	f = b.Linear(f, ch, true, prefix+"_ff_out")
+	h = b.Add(h, f, prefix+"_ff_residual")
+
+	h = b.Transpose(h, 0, 2, 1)
+	h = b.Reshape(h, 0, ch, hh, ww)
+	h = b.Conv(h, ch, 1, 1, 0, 1, true, prefix+"_proj_out")
+	return b.Add(h, residual, prefix+"_residual")
+}
+
+// attention computes multi-head attention of q over kv (kv == q for
+// self-attention, the text context for cross-attention).
+func (u *unetBuilder) attention(q, kv string, ch int, prefix string) string {
+	b := u.b
+	heads := u.heads
+	headDim := ch / heads
+	qTokens := b.Dim(q, 1)
+	kvTokens := b.Dim(kv, 1)
+
+	qp := b.Linear(q, ch, false, prefix+"_q")
+	kp := b.Linear(kv, ch, false, prefix+"_k")
+	vp := b.Linear(kv, ch, false, prefix+"_v")
+	shape := func(t string, tokens int) string {
+		t = b.Reshape(t, 0, tokens, heads, headDim)
+		return b.Transpose(t, 0, 2, 1, 3)
+	}
+	qh := shape(qp, qTokens)
+	kh := shape(kp, kvTokens)
+	vh := shape(vp, kvTokens)
+
+	kT := b.Transpose(kh, 0, 1, 3, 2)
+	scores := b.MatMul(qh, kT, prefix+"_qk")
+	scale := b.scalarConst(prefix+"_scale", 1/math.Sqrt(float64(headDim)))
+	scores = b.Mul(scores, scale, prefix+"_scale_mul")
+	attn := b.Softmax(scores, -1, prefix+"_softmax")
+	ctx := b.MatMul(attn, vh, prefix+"_av")
+	ctx = b.Transpose(ctx, 0, 2, 1, 3)
+	ctx = b.Reshape(ctx, 0, qTokens, ch)
+	return b.Linear(ctx, ch, true, prefix+"_out")
+}

@@ -1,0 +1,118 @@
+package models
+
+import (
+	"fmt"
+
+	"proof/internal/graph"
+)
+
+// BuildShuffleNetV2 constructs ShuffleNetV2 [Ma et al. 2018] at the given
+// width (0.5 or 1.0), 224x224, batch 1. When modified is true it builds
+// the paper's §4.5 optimized variant (Figure 7): in non-downsampling
+// blocks the channel split and shuffle are removed, the first and last
+// point-wise convolutions run on all channels (doubled channel count),
+// and an explicit residual Add replaces the implicit identity path.
+func BuildShuffleNetV2(width float64, modified bool) (*graph.Graph, error) {
+	var stageOut [3]int
+	switch width {
+	case 0.5:
+		stageOut = [3]int{48, 96, 192}
+	case 1.0:
+		stageOut = [3]int{116, 232, 464}
+	case 1.5:
+		stageOut = [3]int{176, 352, 704}
+	default:
+		return nil, fmt.Errorf("models: unsupported ShuffleNetV2 width %v", width)
+	}
+	repeats := [3]int{4, 8, 4}
+
+	name := fmt.Sprintf("shufflenetv2-%g", width)
+	if modified {
+		name += "-mod"
+	}
+	b := NewBuilder(name)
+	x := b.Input("input", graph.Float32, 1, 3, 224, 224)
+
+	x = b.Conv(x, 24, 3, 2, 1, 1, true, "stem_conv")
+	x = b.Relu(x, "stem_relu")
+	x = b.MaxPool(x, 3, 2, 1, "stem_pool")
+
+	for stage := 0; stage < 3; stage++ {
+		cout := stageOut[stage]
+		for block := 0; block < repeats[stage]; block++ {
+			prefix := fmt.Sprintf("stage%d_block%d", stage+2, block)
+			if block == 0 {
+				x = shuffleDownBlock(b, x, cout, prefix)
+			} else if modified {
+				x = shuffleModifiedBlock(b, x, prefix)
+			} else {
+				x = shuffleBasicBlock(b, x, prefix)
+			}
+		}
+	}
+
+	x = b.Conv(x, 1024, 1, 1, 0, 1, true, "conv5")
+	x = b.Relu(x, "conv5_relu")
+	x = b.GAP(x, "gap")
+	x = b.Flatten(x, 1, "flatten")
+	x = b.FC(x, 1000, true, "fc")
+	b.MarkOutput(x)
+	return b.Finish()
+}
+
+// shuffleBasicBlock is the stride-1 ShuffleNetV2 unit: split channels in
+// half, run pw-dw-pw on one half, concat, channel-shuffle. The split and
+// shuffle export as Slice and Shape/Reshape/Transpose chains — the
+// data-movement layers the §4.5 case study identifies as the bottleneck.
+func shuffleBasicBlock(b *Builder, x, prefix string) string {
+	c := b.Channels(x)
+	half := c / 2
+	left := b.Slice(x, 1, 0, half, prefix+"_split_l")
+	right := b.Slice(x, 1, half, c, prefix+"_split_r")
+
+	y := b.Conv(right, half, 1, 1, 0, 1, true, prefix+"_pw1")
+	y = b.Relu(y, prefix+"_pw1_relu")
+	y = b.Conv(y, half, 3, 1, 1, half, true, prefix+"_dw")
+	y = b.Conv(y, half, 1, 1, 0, 1, true, prefix+"_pw2")
+	y = b.Relu(y, prefix+"_pw2_relu")
+
+	out := b.Concat(1, prefix+"_concat", left, y)
+	return b.ChannelShuffle(out, 2, prefix+"_shuffle")
+}
+
+// shuffleDownBlock is the stride-2 ShuffleNetV2 unit: both branches
+// process the full input, halving spatial size; outputs are concatenated
+// and shuffled.
+func shuffleDownBlock(b *Builder, x string, cout int, prefix string) string {
+	c := b.Channels(x)
+	branch := cout / 2
+
+	l := b.Conv(x, c, 3, 2, 1, c, true, prefix+"_l_dw")
+	l = b.Conv(l, branch, 1, 1, 0, 1, true, prefix+"_l_pw")
+	l = b.Relu(l, prefix+"_l_relu")
+
+	r := b.Conv(x, branch, 1, 1, 0, 1, true, prefix+"_r_pw1")
+	r = b.Relu(r, prefix+"_r_pw1_relu")
+	r = b.Conv(r, branch, 3, 2, 1, branch, true, prefix+"_r_dw")
+	r = b.Conv(r, branch, 1, 1, 0, 1, true, prefix+"_r_pw2")
+	r = b.Relu(r, prefix+"_r_pw2_relu")
+
+	out := b.Concat(1, prefix+"_concat", l, r)
+	return b.ChannelShuffle(out, 2, prefix+"_shuffle")
+}
+
+// shuffleModifiedBlock is the §4.5 optimized non-downsampling block
+// (Figure 7): the channel split and shuffle are removed; to still cover
+// all channels, the first point-wise conv doubles its *input* channels
+// (C -> C/2) and the last doubles its *output* channels (C/2 -> C); an
+// explicit residual Add replaces the identity half-path.
+func shuffleModifiedBlock(b *Builder, x, prefix string) string {
+	c := b.Channels(x)
+	half := c / 2
+	y := b.Conv(x, half, 1, 1, 0, 1, true, prefix+"_pw1")
+	y = b.Relu(y, prefix+"_pw1_relu")
+	y = b.Conv(y, half, 3, 1, 1, half, true, prefix+"_dw")
+	y = b.Conv(y, c, 1, 1, 0, 1, true, prefix+"_pw2")
+	y = b.Relu(y, prefix+"_pw2_relu")
+	return b.Add(y, x, prefix+"_add")
+}

@@ -1,0 +1,168 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"proof/internal/graph"
+)
+
+// swinConfig holds Swin-T/S/B hyper-parameters (patch 4, window 7,
+// 224x224).
+type swinConfig struct {
+	embed  int
+	depths [4]int
+	heads  [4]int
+}
+
+var swinConfigs = map[string]swinConfig{
+	"t": {96, [4]int{2, 2, 6, 2}, [4]int{3, 6, 12, 24}},
+	"s": {96, [4]int{2, 2, 18, 2}, [4]int{3, 6, 12, 24}},
+	"b": {128, [4]int{2, 2, 18, 2}, [4]int{4, 8, 16, 32}},
+}
+
+// BuildSwin constructs a Swin Transformer [Liu et al. 2021]
+// (tiny/small/base, patch 4, window 7) at 224x224, batch 1. Window
+// partitioning, cyclic shifts (as Slice+Concat rolls) and patch merging
+// (strided slices) are emitted exactly as ONNX exports lower them — the
+// data-movement-heavy structure behind Swin's high node counts in
+// Table 3.
+func BuildSwin(variant string) (*graph.Graph, error) {
+	cfg, ok := swinConfigs[variant]
+	if !ok {
+		return nil, fmt.Errorf("models: unsupported Swin variant %q (t/s/b)", variant)
+	}
+	const (
+		img    = 224
+		patch  = 4
+		window = 7
+	)
+	b := NewBuilder("swin-" + variant)
+	x := b.Input("input", graph.Float32, 1, 3, img, img)
+
+	// Patch embedding.
+	h, w := img/patch, img/patch
+	x = b.Conv(x, cfg.embed, patch, patch, 0, 1, true, "patch_embed")
+	x = b.Reshape(x, 0, cfg.embed, h*w)
+	x = b.Transpose(x, 0, 2, 1) // [N, H*W, C]
+	x = b.LayerNorm(x, "patch_ln")
+
+	dim := cfg.embed
+	for stage := 0; stage < 4; stage++ {
+		for block := 0; block < cfg.depths[stage]; block++ {
+			shifted := block%2 == 1
+			prefix := fmt.Sprintf("stage%d_block%d", stage, block)
+			x = swinBlock(b, x, dim, h, w, window, cfg.heads[stage], shifted, prefix)
+		}
+		if stage < 3 {
+			x = patchMerging(b, x, dim, h, w, fmt.Sprintf("merge%d", stage))
+			h, w, dim = h/2, w/2, dim*2
+		}
+	}
+
+	x = b.LayerNorm(x, "final_ln")
+	x = b.ReduceMean(x, []int{1}, false, "pool")
+	out := b.FC(x, 1000, true, "head")
+	b.MarkOutput(out)
+	return b.Finish()
+}
+
+// swinBlock is one (shifted-)window attention block.
+func swinBlock(b *Builder, x string, dim, h, w, window, heads int, shifted bool, prefix string) string {
+	shortcut := x
+	y := b.LayerNorm(x, prefix+"_ln1")
+	y = b.Reshape(y, 0, h, w, dim) // [N, H, W, C]
+
+	shift := 0
+	if shifted {
+		shift = window / 2
+		y = roll2D(b, y, -shift, prefix+"_shift")
+	}
+
+	// Window partition: [N, H/ws, ws, W/ws, ws, C] -> [N*nw, ws*ws, C].
+	nh, nw := h/window, w/window
+	y = b.Reshape(y, 0, nh, window, nw, window, dim)
+	y = b.Transpose(y, 0, 1, 3, 2, 4, 5)
+	y = b.Reshape(y, -1, window*window, dim)
+
+	y = windowAttention(b, y, dim, heads, window*window, prefix+"_attn")
+
+	// Window reverse.
+	y = b.Reshape(y, -1, nh, nw, window, window, dim)
+	y = b.Transpose(y, 0, 1, 3, 2, 4, 5)
+	y = b.Reshape(y, -1, h, w, dim)
+
+	if shifted {
+		y = roll2D(b, y, shift, prefix+"_unshift")
+	}
+	y = b.Reshape(y, 0, h*w, dim)
+	x = b.Add(shortcut, y, prefix+"_attn_residual")
+
+	m := b.LayerNorm(x, prefix+"_ln2")
+	m = b.Linear(m, dim*4, true, prefix+"_mlp_fc1")
+	m = b.Gelu(m, prefix+"_mlp_gelu")
+	m = b.Linear(m, dim, true, prefix+"_mlp_fc2")
+	return b.Add(x, m, prefix+"_mlp_residual")
+}
+
+// roll2D performs torch.roll over the two spatial axes of an
+// [N, H, W, C] tensor, lowered to Slice+Concat pairs per axis as in ONNX
+// exports.
+func roll2D(b *Builder, x string, shift int, prefix string) string {
+	for axis := 1; axis <= 2; axis++ {
+		size := b.Dim(x, axis)
+		cut := ((-shift)%size + size) % size
+		if cut == 0 {
+			continue
+		}
+		head := b.Slice(x, axis, 0, cut, fmt.Sprintf("%s_ax%d_head", prefix, axis))
+		tail := b.Slice(x, axis, cut, size, fmt.Sprintf("%s_ax%d_tail", prefix, axis))
+		x = b.Concat(axis, fmt.Sprintf("%s_ax%d_cat", prefix, axis), tail, head)
+	}
+	return x
+}
+
+// windowAttention is multi-head self-attention over window tokens with a
+// learned relative position bias added to the attention scores.
+func windowAttention(b *Builder, x string, dim, heads, tokens int, prefix string) string {
+	headDim := dim / heads
+
+	qkv := b.Linear(x, dim*3, true, prefix+"_qkv")
+	qkv = b.Reshape(qkv, 0, tokens, 3, heads, headDim)
+	qkv = b.Transpose(qkv, 2, 0, 3, 1, 4)
+	parts := b.Split(qkv, 0, 3, prefix+"_qkv_split")
+	q := b.Reshape(parts[0], -1, heads, tokens, headDim)
+	k := b.Reshape(parts[1], -1, heads, tokens, headDim)
+	v := b.Reshape(parts[2], -1, heads, tokens, headDim)
+
+	kT := b.Transpose(k, 0, 1, 3, 2)
+	scores := b.MatMul(q, kT, prefix+"_qk")
+	scale := b.scalarConst(prefix+"_scale", 1/math.Sqrt(float64(headDim)))
+	scores = b.Mul(scores, scale, prefix+"_scale_mul")
+	bias := b.Param(prefix+"_rel_pos_bias", heads, tokens, tokens)
+	scores = b.Add(scores, bias, prefix+"_bias_add")
+	attn := b.Softmax(scores, -1, prefix+"_softmax")
+	ctx := b.MatMul(attn, v, prefix+"_av")
+	ctx = b.Transpose(ctx, 0, 2, 1, 3)
+	ctx = b.Reshape(ctx, 0, tokens, dim)
+	return b.Linear(ctx, dim, true, prefix+"_proj")
+}
+
+// patchMerging downsamples 2x spatially and doubles channels: four
+// strided slices, concat, LayerNorm, linear reduction — the Swin
+// equivalent of a strided convolution.
+func patchMerging(b *Builder, x string, dim, h, w int, prefix string) string {
+	y := b.Reshape(x, 0, h, w, dim)
+	x00 := b.SliceStep(y, 1, 0, h, 2, prefix+"_r0")
+	x00 = b.SliceStep(x00, 2, 0, w, 2, prefix+"_r0c0")
+	x10 := b.SliceStep(y, 1, 1, h, 2, prefix+"_r1")
+	x10 = b.SliceStep(x10, 2, 0, w, 2, prefix+"_r1c0")
+	x01 := b.SliceStep(y, 1, 0, h, 2, prefix+"_r0b")
+	x01 = b.SliceStep(x01, 2, 1, w, 2, prefix+"_r0c1")
+	x11 := b.SliceStep(y, 1, 1, h, 2, prefix+"_r1b")
+	x11 = b.SliceStep(x11, 2, 1, w, 2, prefix+"_r1c1")
+	cat := b.Concat(3, prefix+"_concat", x00, x10, x01, x11)
+	cat = b.Reshape(cat, 0, (h/2)*(w/2), 4*dim)
+	cat = b.LayerNorm(cat, prefix+"_ln")
+	return b.Linear(cat, 2*dim, false, prefix+"_reduce")
+}

@@ -1,0 +1,99 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"proof/internal/graph"
+)
+
+// vitConfig holds the ViT-Ti/S/B hyper-parameters (patch 16, 224x224).
+type vitConfig struct {
+	dim, depth, heads int
+}
+
+var vitConfigs = map[string]vitConfig{
+	"t": {192, 12, 3},
+	"s": {384, 12, 6},
+	"b": {768, 12, 12},
+}
+
+// BuildViT constructs a Vision Transformer [Dosovitskiy et al. 2021]
+// (tiny/small/base, patch 16) at 224x224, batch 1, with the class token
+// and erf-expanded GELUs of a real PyTorch export.
+func BuildViT(variant string) (*graph.Graph, error) {
+	cfg, ok := vitConfigs[variant]
+	if !ok {
+		return nil, fmt.Errorf("models: unsupported ViT variant %q (t/s/b)", variant)
+	}
+	const (
+		img   = 224
+		patch = 16
+	)
+	tokens := (img / patch) * (img / patch) // 196
+
+	b := NewBuilder("vit-" + variant)
+	x := b.Input("input", graph.Float32, 1, 3, img, img)
+
+	// Patch embedding: conv patch x patch stride patch, then flatten
+	// to a token sequence.
+	x = b.Conv(x, cfg.dim, patch, patch, 0, 1, true, "patch_embed")
+	x = b.Reshape(x, 0, cfg.dim, tokens)
+	x = b.Transpose(x, 0, 2, 1) // [N, tokens, dim]
+
+	// Class token prepended, positional embedding added.
+	cls := b.Param("cls_token", 1, 1, cfg.dim)
+	clsB := b.ExpandToBatch(cls, x, "cls_expand")
+	x = b.Concat(1, "cls_concat", clsB, x)
+	pos := b.Param("pos_embed", 1, tokens+1, cfg.dim)
+	x = b.Add(x, pos, "pos_add")
+
+	for i := 0; i < cfg.depth; i++ {
+		x = vitBlock(b, x, cfg.dim, cfg.heads, fmt.Sprintf("block%d", i))
+	}
+
+	x = b.LayerNorm(x, "final_ln")
+	clsOut := b.Slice(x, 1, 0, 1, "cls_select")
+	clsOut = b.Reshape(clsOut, 0, cfg.dim)
+	out := b.FC(clsOut, 1000, true, "head")
+	b.MarkOutput(out)
+	return b.Finish()
+}
+
+// vitBlock is one pre-norm transformer encoder block with a fused-qkv
+// attention, as timm exports it.
+func vitBlock(b *Builder, x string, dim, heads int, prefix string) string {
+	attnOut := vitAttention(b, b.LayerNorm(x, prefix+"_ln1"), dim, heads, prefix+"_attn")
+	x = b.Add(x, attnOut, prefix+"_attn_residual")
+	m := b.LayerNorm(x, prefix+"_ln2")
+	m = b.Linear(m, dim*4, true, prefix+"_mlp_fc1")
+	m = b.Gelu(m, prefix+"_mlp_gelu")
+	m = b.Linear(m, dim, true, prefix+"_mlp_fc2")
+	return b.Add(x, m, prefix+"_mlp_residual")
+}
+
+// vitAttention is multi-head self-attention with a fused qkv projection:
+// qkv -> reshape/transpose/split -> scaled QK^T -> softmax -> V ->
+// merge heads -> output projection.
+func vitAttention(b *Builder, x string, dim, heads int, prefix string) string {
+	headDim := dim / heads
+	tokens := b.Dim(x, 1)
+
+	qkv := b.Linear(x, dim*3, true, prefix+"_qkv")
+	qkv = b.Reshape(qkv, 0, tokens, 3, heads, headDim)
+	qkv = b.Transpose(qkv, 2, 0, 3, 1, 4) // [3, N, heads, tokens, headDim]
+	parts := b.Split(qkv, 0, 3, prefix+"_qkv_split")
+	q := b.Reshape(parts[0], -1, heads, tokens, headDim)
+	k := b.Reshape(parts[1], -1, heads, tokens, headDim)
+	v := b.Reshape(parts[2], -1, heads, tokens, headDim)
+
+	kT := b.Transpose(k, 0, 1, 3, 2)
+	scores := b.MatMul(q, kT, prefix+"_qk")
+	scale := b.scalarConst(prefix+"_scale", 1/math.Sqrt(float64(headDim)))
+	scores = b.Mul(scores, scale, prefix+"_scale_mul")
+	attn := b.Softmax(scores, -1, prefix+"_softmax")
+	ctx := b.MatMul(attn, v, prefix+"_av")
+	ctx = b.Transpose(ctx, 0, 2, 1, 3)
+	ctx = b.Reshape(ctx, 0, tokens, dim)
+	return b.Linear(ctx, dim, true, prefix+"_proj")
+}

@@ -1,0 +1,181 @@
+// Package ncusim simulates a hardware-counter profiler in the mold of
+// NVIDIA Nsight Compute (NCU): per-kernel instruction-counted FLOP, DRAM
+// traffic, and — critically — the measurement pathologies the paper
+// documents in §4.2:
+//
+//   - Kernel replay overhead: hardware exposes few counters, so the
+//     profiler replays every kernel several times to collect all metric
+//     groups, which costs minutes of wall time per model (Table 4's
+//     "Prof. time" column) — the overhead PRoof's analytical prediction
+//     mode avoids.
+//   - The tensor-core FLOP bug: NCU derives FLOP from HMMA/IMMA
+//     instruction counts using a fixed 512 FLOP/instruction, which is
+//     only correct for Volta's HMMA.884.F32.F32; on Ampere/Ada one
+//     instruction performs 4096 FLOP, so raw NCU numbers are an integer
+//     multiple off. CorrectReportedFLOP applies the per-architecture
+//     table (after Raihan et al.'s tensor-core reverse engineering).
+package ncusim
+
+import (
+	"fmt"
+	"time"
+
+	"proof/internal/backend"
+	"proof/internal/graph"
+	"proof/internal/sim"
+)
+
+// ncuFixedFLOPPerMMA is the constant NCU multiplies HMMA instruction
+// counts by, regardless of architecture — the bug.
+const ncuFixedFLOPPerMMA = 512
+
+// flopPerMMA is the true per-architecture FLOP count of one dense fp16
+// HMMA instruction.
+var flopPerMMA = map[string]int{
+	"volta":  512,  // HMMA.884.F32.F32
+	"ampere": 4096, // HMMA.16816.F32
+	"ada":    4096,
+}
+
+// FLOPPerMMA returns the true FLOP per matrix instruction for a GPU
+// architecture (0 when the architecture has no matrix units).
+func FLOPPerMMA(arch string) int { return flopPerMMA[arch] }
+
+// CorrectReportedFLOP converts an NCU-reported tensor-core FLOP count to
+// the true count for the given architecture.
+func CorrectReportedFLOP(reported int64, arch string) int64 {
+	per, ok := flopPerMMA[arch]
+	if !ok || per == ncuFixedFLOPPerMMA {
+		return reported
+	}
+	instructions := reported / ncuFixedFLOPPerMMA
+	return instructions * int64(per)
+}
+
+// KernelMeasurement is the counter data for one replayed kernel.
+type KernelMeasurement struct {
+	// Name is the kernel name from the launch trace.
+	Name string
+	// MMAInstructions is the HMMA/IMMA count (0 for non-tensor-core
+	// kernels).
+	MMAInstructions int64
+	// ReportedFLOP is the FLOP NCU displays (fixed 512/MMA for
+	// tensor-core kernels; direct FADD/FMUL/FFMA counts otherwise).
+	ReportedFLOP int64
+	// Bytes is the measured DRAM traffic attributed to the kernel.
+	Bytes int64
+	// Latency is the kernel execution time.
+	Latency time.Duration
+}
+
+// LayerMeasurement aggregates kernel measurements per backend layer
+// (correlated through the system-trace layer names, Figure 3).
+type LayerMeasurement struct {
+	// LayerName is the backend layer.
+	LayerName string
+	// Kernels are the layer's kernels.
+	Kernels []KernelMeasurement
+	// ReportedFLOP is the raw (buggy) per-layer FLOP.
+	ReportedFLOP int64
+	// CorrectedFLOP applies the architecture FLOP/MMA correction.
+	CorrectedFLOP int64
+	// Bytes is the measured DRAM traffic.
+	Bytes int64
+	// Latency is the layer latency.
+	Latency time.Duration
+}
+
+// Result is a full measurement run over an engine.
+type Result struct {
+	// Layers are the per-layer measurements in execution order.
+	Layers []LayerMeasurement
+	// ReportedFLOP / CorrectedFLOP / Bytes are whole-model totals.
+	ReportedFLOP  int64
+	CorrectedFLOP int64
+	Bytes         int64
+	// InferenceTime is the model latency during the measured run.
+	InferenceTime time.Duration
+	// ProfilingTime is the additional wall time the counter profiler
+	// spent on kernel replays (Table 4's "Prof. time").
+	ProfilingTime time.Duration
+}
+
+// Replay cost model: per-kernel fixed overhead (connection, cache
+// flushing, metric configuration) plus replay passes over the kernel.
+const (
+	perKernelOverhead = 3 * time.Second
+	replayPasses      = 12
+)
+
+// usesTensorCores reports whether a kernel class/dtype runs on the
+// matrix units.
+func usesTensorCores(class sim.Class, dt graph.DataType, arch string) bool {
+	if flopPerMMA[arch] == 0 {
+		return false
+	}
+	if class != sim.ClassGEMM && class != sim.ClassConv {
+		return false
+	}
+	return dt == graph.Float16 || dt == graph.BFloat16 || dt == graph.Int8
+}
+
+// Measure profiles an engine with simulated hardware counters. The
+// engine must be built for a platform whose measurement is supported
+// (tensor-core GPUs in the paper: A100, RTX 4090).
+func Measure(e *backend.Engine, seed uint64) (*Result, error) {
+	cfg := e.Config()
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("ncusim: engine has no platform")
+	}
+	arch := cfg.Platform.Arch
+	works := e.Works()
+	timings := e.Timings(seed)
+	layers := e.Layers()
+	if len(works) != len(layers) || len(timings) != len(layers) {
+		return nil, fmt.Errorf("ncusim: engine layer bookkeeping mismatch")
+	}
+
+	res := &Result{}
+	for i, l := range layers {
+		w := works[i]
+		tm := timings[i]
+		lm := LayerMeasurement{
+			LayerName: l.Name,
+			Bytes:     tm.ActualBytes,
+			Latency:   tm.Latency,
+		}
+		kernels := l.Kernels
+		if len(kernels) == 0 {
+			kernels = []backend.Kernel{{Name: l.Name, LayerName: l.Name, ShareOfLayer: 1}}
+		}
+		for _, k := range kernels {
+			km := KernelMeasurement{
+				Name:    k.Name,
+				Bytes:   int64(float64(tm.ActualBytes) * k.ShareOfLayer),
+				Latency: time.Duration(float64(tm.Latency) * k.ShareOfLayer),
+			}
+			kernelFLOP := int64(float64(w.HWFLOP) * k.ShareOfLayer)
+			if usesTensorCores(w.Class, cfg.DType, arch) {
+				per := int64(flopPerMMA[arch])
+				km.MMAInstructions = kernelFLOP / per
+				km.ReportedFLOP = km.MMAInstructions * ncuFixedFLOPPerMMA
+			} else {
+				km.ReportedFLOP = kernelFLOP
+			}
+			lm.Kernels = append(lm.Kernels, km)
+			lm.ReportedFLOP += km.ReportedFLOP
+			if km.MMAInstructions > 0 {
+				lm.CorrectedFLOP += CorrectReportedFLOP(km.ReportedFLOP, arch)
+			} else {
+				lm.CorrectedFLOP += km.ReportedFLOP
+			}
+			res.ProfilingTime += perKernelOverhead + time.Duration(replayPasses)*km.Latency
+		}
+		res.Layers = append(res.Layers, lm)
+		res.ReportedFLOP += lm.ReportedFLOP
+		res.CorrectedFLOP += lm.CorrectedFLOP
+		res.Bytes += lm.Bytes
+		res.InferenceTime += lm.Latency
+	}
+	return res, nil
+}

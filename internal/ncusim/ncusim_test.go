@@ -1,0 +1,174 @@
+package ncusim
+
+import (
+	"testing"
+
+	"proof/internal/analysis"
+	"proof/internal/backend"
+	_ "proof/internal/backend/ortsim"
+	_ "proof/internal/backend/trtsim"
+	"proof/internal/graph"
+	"proof/internal/hardware"
+	"proof/internal/models"
+)
+
+func measureModel(t *testing.T, model, platform string, batch int) (*Result, *analysis.Rep) {
+	t.Helper()
+	g, err := models.Build(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := hardware.Get(platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ConvertFloatTensors(plat.DefaultDType)
+	rep, err := analysis.NewRepWithBatch(g, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := backend.Get(plat.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: plat.DefaultDType, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Measure(eng, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rep
+}
+
+func TestCorrectReportedFLOP(t *testing.T) {
+	// 10 HMMA instructions reported as 5120 FLOP.
+	if got := CorrectReportedFLOP(5120, "ampere"); got != 10*4096 {
+		t.Errorf("ampere correction = %d", got)
+	}
+	// Volta is the one architecture NCU gets right.
+	if got := CorrectReportedFLOP(5120, "volta"); got != 5120 {
+		t.Errorf("volta correction = %d", got)
+	}
+	// Unknown arch: no tensor cores, pass through.
+	if got := CorrectReportedFLOP(5120, "x86-avx512"); got != 5120 {
+		t.Errorf("cpu correction = %d", got)
+	}
+	if FLOPPerMMA("ampere") != 4096 || FLOPPerMMA("volta") != 512 {
+		t.Error("FLOPPerMMA table wrong")
+	}
+}
+
+func TestNCUBugReproducesOnAmpere(t *testing.T) {
+	res, _ := measureModel(t, "resnet-50", "a100", 8)
+	// On Ampere the raw NCU FLOP must be an integer fraction (1/8) of
+	// the corrected value for tensor-core kernels, so total reported
+	// is far below corrected.
+	if res.ReportedFLOP >= res.CorrectedFLOP {
+		t.Errorf("reported %d should undercount corrected %d on ampere", res.ReportedFLOP, res.CorrectedFLOP)
+	}
+	ratio := float64(res.CorrectedFLOP) / float64(res.ReportedFLOP)
+	if ratio < 4 || ratio > 9 {
+		t.Errorf("correction ratio = %.2f, want ~8 (conv-dominated model)", ratio)
+	}
+}
+
+func TestCorrectedFLOPNearAnalytical(t *testing.T) {
+	// Table 4: corrected hardware FLOP differs from the analytical
+	// model FLOP by roughly -25%..+10% depending on the model mix.
+	cases := []struct {
+		model    string
+		min, max float64 // corrected/analytical bounds
+	}{
+		{"resnet-50", 0.95, 1.25},
+		{"mobilenetv2-1.0", 1.05, 1.60}, // dw-conv overhead inflates hw FLOP
+		{"vit-t", 0.80, 1.10},           // SFU ops deflate hw FLOP
+	}
+	for _, c := range cases {
+		res, rep := measureModel(t, c.model, "a100", 8)
+		ratio := float64(res.CorrectedFLOP) / float64(rep.TotalCost().FLOP)
+		if ratio < c.min || ratio > c.max {
+			t.Errorf("%s: corrected/analytical = %.3f, want in [%.2f, %.2f]", c.model, ratio, c.min, c.max)
+		}
+	}
+}
+
+func TestMeasuredBytesNearPredicted(t *testing.T) {
+	res, rep := measureModel(t, "resnet-50", "a100", 8)
+	// Aggregate measured traffic should be within ~10% of the
+	// analytical prediction (Table 4 memory diffs are a few percent).
+	// Compare against the fused prediction implied by the run: use
+	// total measured vs total predicted-by-rep as a loose envelope
+	// (per-op prediction is higher than fused reality).
+	predicted := rep.TotalCost().MemoryBytes()
+	ratio := float64(res.Bytes) / float64(predicted)
+	if ratio < 0.5 || ratio > 1.15 {
+		t.Errorf("measured/predicted bytes = %.3f out of range", ratio)
+	}
+	if res.Bytes <= 0 {
+		t.Error("no traffic measured")
+	}
+}
+
+func TestProfilingOverheadIsLarge(t *testing.T) {
+	res, _ := measureModel(t, "resnet-50", "a100", 8)
+	// The whole point of prediction mode: counter profiling costs
+	// minutes (Table 4 reports 395 s for ResNet-50), inference runs in
+	// milliseconds.
+	if res.ProfilingTime < 60*1e9 {
+		t.Errorf("profiling time = %v, expected minutes of replay overhead", res.ProfilingTime)
+	}
+	if res.ProfilingTime < 1000*res.InferenceTime {
+		t.Errorf("profiling (%v) should dwarf inference (%v)", res.ProfilingTime, res.InferenceTime)
+	}
+}
+
+func TestVoltaNeedsNoCorrection(t *testing.T) {
+	res, _ := measureModel(t, "resnet-50", "xavier-nx", 8)
+	if res.ReportedFLOP != res.CorrectedFLOP {
+		t.Errorf("volta: reported %d != corrected %d", res.ReportedFLOP, res.CorrectedFLOP)
+	}
+}
+
+func TestNoTensorCoresNoMMA(t *testing.T) {
+	g, _ := models.Build("resnet-50")
+	plat, _ := hardware.Get("xeon-6330")
+	g.ConvertFloatTensors(graph.Float32)
+	rep, err := analysis.NewRepWithBatch(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, _ := backend.Get("ortsim")
+	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float32, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Measure(eng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lm := range res.Layers {
+		for _, km := range lm.Kernels {
+			if km.MMAInstructions != 0 {
+				t.Fatalf("CPU kernel %q has MMA instructions", km.Name)
+			}
+		}
+	}
+}
+
+func TestKernelLayerCorrelation(t *testing.T) {
+	res, _ := measureModel(t, "vit-t", "a100", 8)
+	for _, lm := range res.Layers {
+		if len(lm.Kernels) == 0 {
+			t.Errorf("layer %q has no kernel measurements", lm.LayerName)
+		}
+		var flop int64
+		for _, km := range lm.Kernels {
+			flop += km.ReportedFLOP
+		}
+		if flop != lm.ReportedFLOP {
+			t.Errorf("layer %q kernel FLOP sum mismatch", lm.LayerName)
+		}
+	}
+}

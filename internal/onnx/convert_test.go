@@ -1,0 +1,168 @@
+package onnx
+
+import (
+	"testing"
+
+	"proof/internal/graph"
+)
+
+func TestDTypeMappingRoundTrip(t *testing.T) {
+	for _, dt := range []graph.DataType{
+		graph.Float32, graph.Float16, graph.BFloat16, graph.Int8,
+		graph.Int32, graph.Int64, graph.Bool,
+	} {
+		enum := dtypeToONNX(dt)
+		back, err := dtypeFromONNX(enum)
+		if err != nil {
+			t.Fatalf("%v: %v", dt, err)
+		}
+		if back != dt {
+			t.Errorf("%v -> %d -> %v", dt, enum, back)
+		}
+	}
+	// Double maps to fp32; uint8 to int8; unknown errors.
+	if dt, err := dtypeFromONNX(TensorDouble); err != nil || dt != graph.Float32 {
+		t.Error("double mapping")
+	}
+	if dt, err := dtypeFromONNX(TensorUint8); err != nil || dt != graph.Int8 {
+		t.Error("uint8 mapping")
+	}
+	if _, err := dtypeFromONNX(999); err == nil {
+		t.Error("unknown dtype must error")
+	}
+}
+
+func TestTensorInt64Values(t *testing.T) {
+	// int64_data form.
+	tp := &TensorProto{DataType: TensorInt64, Int64Data: []int64{1, -2, 3}}
+	if v := tensorInt64Values(tp); len(v) != 3 || v[1] != -2 {
+		t.Errorf("int64_data = %v", v)
+	}
+	// raw_data little-endian form.
+	raw := make([]byte, 16)
+	raw[0] = 5                   // 5
+	raw[8], raw[15] = 0xFE, 0x00 // 254
+	tp = &TensorProto{DataType: TensorInt64, RawData: raw}
+	v := tensorInt64Values(tp)
+	if len(v) != 2 || v[0] != 5 || v[1] != 254 {
+		t.Errorf("raw_data = %v", v)
+	}
+	// negative value in raw form
+	neg := make([]byte, 8)
+	for i := range neg {
+		neg[i] = 0xFF
+	}
+	tp = &TensorProto{DataType: TensorInt64, RawData: neg}
+	if v := tensorInt64Values(tp); v[0] != -1 {
+		t.Errorf("raw negative = %v", v)
+	}
+	// No payload -> nil.
+	if v := tensorInt64Values(&TensorProto{DataType: TensorInt64}); v != nil {
+		t.Errorf("empty = %v", v)
+	}
+}
+
+func TestConvertConstantForms(t *testing.T) {
+	g := graph.New("c")
+	// Large float constant folds into an initializer (node dropped).
+	node, err := convertConstant(g, &NodeProto{Output: []string{"big"}}, "big",
+		&TensorProto{DataType: TensorFloat, Dims: []int64{4, 4}})
+	if err != nil || node != nil {
+		t.Fatalf("large float constant should fold: %v, %v", node, err)
+	}
+	tens := g.Tensor("big")
+	if tens == nil || !tens.Param || !tens.Shape.Equal(graph.Shape{4, 4}) {
+		t.Errorf("folded initializer = %+v", tens)
+	}
+	// Scalar float becomes a value_float Constant node.
+	node, err = convertConstant(g, &NodeProto{Output: []string{"s"}}, "s",
+		&TensorProto{DataType: TensorFloat, FloatData: []float32{2.5}})
+	if err != nil || node == nil {
+		t.Fatal(err)
+	}
+	if node.Attrs.Float("value_float", 0) != 2.5 {
+		t.Errorf("scalar constant attrs = %v", node.Attrs)
+	}
+	// Small int64 becomes value_ints.
+	node, err = convertConstant(g, &NodeProto{Output: []string{"i"}}, "i",
+		&TensorProto{DataType: TensorInt64, Dims: []int64{2}, Int64Data: []int64{7, 9}})
+	if err != nil || node == nil {
+		t.Fatal(err)
+	}
+	ints := node.Attrs.Ints("value_ints", nil)
+	if len(ints) != 2 || ints[1] != 9 {
+		t.Errorf("int constant attrs = %v", node.Attrs)
+	}
+	// Unsupported dtype errors.
+	if _, err := convertConstant(g, &NodeProto{Output: []string{"u"}}, "u",
+		&TensorProto{DataType: 999, Dims: []int64{2, 2}}); err == nil {
+		t.Error("unsupported constant dtype must error")
+	}
+}
+
+func TestToGraphDropsEmptyOptionalInputs(t *testing.T) {
+	m := &ModelProto{Graph: &GraphProto{
+		Name:  "opt",
+		Input: []*ValueInfoProto{{Name: "x", ElemType: TensorFloat, Dims: []int64{1, 4}}},
+		Nodes: []*NodeProto{{
+			OpType: "Clip", Input: []string{"x", "", ""}, Output: []string{"y"},
+		}},
+		Output: []*ValueInfoProto{{Name: "y"}},
+	}}
+	g, err := ToGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes[0].Inputs) != 1 {
+		t.Errorf("optional empty inputs should be dropped: %v", g.Nodes[0].Inputs)
+	}
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToGraphDuplicateNodeNames(t *testing.T) {
+	m := &ModelProto{Graph: &GraphProto{
+		Name:  "dup",
+		Input: []*ValueInfoProto{{Name: "x", ElemType: TensorFloat, Dims: []int64{1}}},
+		Nodes: []*NodeProto{
+			{Name: "n", OpType: "Relu", Input: []string{"x"}, Output: []string{"a"}},
+			{Name: "n", OpType: "Relu", Input: []string{"a"}, Output: []string{"y"}},
+		},
+		Output: []*ValueInfoProto{{Name: "y"}},
+	}}
+	g, err := ToGraph(m)
+	if err != nil {
+		t.Fatalf("duplicate names should be uniquified: %v", err)
+	}
+	if g.Nodes[0].Name == g.Nodes[1].Name {
+		t.Error("names not uniquified")
+	}
+}
+
+func TestCastEnumConversion(t *testing.T) {
+	m := &ModelProto{Graph: &GraphProto{
+		Name:  "cast",
+		Input: []*ValueInfoProto{{Name: "x", ElemType: TensorFloat, Dims: []int64{2}}},
+		Nodes: []*NodeProto{{
+			Name: "c", OpType: "Cast", Input: []string{"x"}, Output: []string{"y"},
+			Attribute: []*AttributeProto{{Name: "to", Type: AttrTypeInt, I: TensorFloat16}},
+		}},
+		Output: []*ValueInfoProto{{Name: "y"}},
+	}}
+	g, err := ToGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Tensor("y").DType != graph.Float16 {
+		t.Errorf("cast output dtype = %v", g.Tensor("y").DType)
+	}
+	// Unsupported cast enum errors.
+	m.Graph.Nodes[0].Attribute[0].I = 8 // STRING
+	if _, err := ToGraph(m); err == nil {
+		t.Error("unsupported cast target must error")
+	}
+}

@@ -1,0 +1,59 @@
+package onnx
+
+import (
+	"bytes"
+	"testing"
+
+	"proof/internal/models"
+)
+
+// FuzzParseModel hardens the wire-format parser: arbitrary bytes must
+// never panic — they either parse or return an error. Seeds include a
+// real exported model and truncations of it.
+func FuzzParseModel(f *testing.F) {
+	g, err := models.Build("mobilenetv2-0.5")
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := Export(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x08, 0x08})             // bare varint field
+	f.Add([]byte{0x3a, 0x02, 0x08, 0x01}) // nested message
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		m, err := ParseModel(in)
+		if err != nil || m == nil {
+			return
+		}
+		// A successfully parsed model must convert or error cleanly.
+		_, _ = ToGraph(m)
+	})
+}
+
+// FuzzRoundTripTruncation: truncating a valid export at any point must
+// not panic the loader.
+func FuzzRoundTripTruncation(f *testing.F) {
+	g, err := models.Build("shufflenetv2-0.5")
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := Export(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(len(data) / 3)
+	f.Add(len(data) - 1)
+	f.Add(1)
+	f.Fuzz(func(t *testing.T, cut int) {
+		if cut < 0 || cut > len(data) {
+			return
+		}
+		_, _ = Load(bytes.NewReader(data[:cut]))
+	})
+}

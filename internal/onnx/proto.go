@@ -1,0 +1,315 @@
+package onnx
+
+import "fmt"
+
+// The message structs mirror the subset of onnx.proto PRoof consumes.
+
+// ModelProto is the top-level ONNX file message.
+type ModelProto struct {
+	IRVersion     int64
+	ProducerName  string
+	Graph         *GraphProto
+	OpsetVersions []int64
+}
+
+// GraphProto is an ONNX graph.
+type GraphProto struct {
+	Name        string
+	Nodes       []*NodeProto
+	Initializer []*TensorProto
+	Input       []*ValueInfoProto
+	Output      []*ValueInfoProto
+	ValueInfo   []*ValueInfoProto
+}
+
+// NodeProto is one operator node.
+type NodeProto struct {
+	Name      string
+	OpType    string
+	Domain    string
+	Input     []string
+	Output    []string
+	Attribute []*AttributeProto
+}
+
+// Attribute type enum values (onnx.AttributeProto.AttributeType).
+const (
+	AttrTypeFloat   = 1
+	AttrTypeInt     = 2
+	AttrTypeString  = 3
+	AttrTypeTensor  = 4
+	AttrTypeFloats  = 6
+	AttrTypeInts    = 7
+	AttrTypeStrings = 8
+)
+
+// AttributeProto is a node attribute.
+type AttributeProto struct {
+	Name   string
+	Type   int
+	F      float32
+	I      int64
+	S      []byte
+	T      *TensorProto
+	Floats []float32
+	Ints   []int64
+}
+
+// ONNX TensorProto.DataType enum values.
+const (
+	TensorFloat    = 1
+	TensorUint8    = 2
+	TensorInt8     = 3
+	TensorInt16    = 5
+	TensorInt32    = 6
+	TensorInt64    = 7
+	TensorBool     = 9
+	TensorFloat16  = 10
+	TensorDouble   = 11
+	TensorBFloat16 = 16
+)
+
+// TensorProto is a constant tensor (initializer or attribute value).
+type TensorProto struct {
+	Name      string
+	Dims      []int64
+	DataType  int
+	RawData   []byte
+	Int64Data []int64
+	FloatData []float32
+}
+
+// ValueInfoProto declares a graph input/output/intermediate tensor.
+type ValueInfoProto struct {
+	Name     string
+	ElemType int
+	// Dims uses -1 for symbolic dimensions (dim_param).
+	Dims []int64
+}
+
+// ---- Decoding ----
+
+// ParseModel decodes a serialized ModelProto.
+func ParseModel(data []byte) (*ModelProto, error) {
+	m := &ModelProto{}
+	err := walk(data, func(f field) error {
+		switch f.num {
+		case 1: // ir_version
+			m.IRVersion = int64(f.varint)
+		case 2: // producer_name
+			m.ProducerName = string(f.bytes)
+		case 7: // graph
+			g, err := parseGraph(f.bytes)
+			if err != nil {
+				return err
+			}
+			m.Graph = g
+		case 8: // opset_import
+			v, err := parseOpset(f.bytes)
+			if err != nil {
+				return err
+			}
+			m.OpsetVersions = append(m.OpsetVersions, v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m.Graph == nil {
+		return nil, fmt.Errorf("onnx: model has no graph")
+	}
+	return m, nil
+}
+
+func parseOpset(buf []byte) (int64, error) {
+	var version int64
+	err := walk(buf, func(f field) error {
+		if f.num == 2 { // version
+			version = int64(f.varint)
+		}
+		return nil
+	})
+	return version, err
+}
+
+func parseGraph(buf []byte) (*GraphProto, error) {
+	g := &GraphProto{}
+	err := walk(buf, func(f field) error {
+		switch f.num {
+		case 1: // node
+			n, err := parseNode(f.bytes)
+			if err != nil {
+				return err
+			}
+			g.Nodes = append(g.Nodes, n)
+		case 2: // name
+			g.Name = string(f.bytes)
+		case 5: // initializer
+			t, err := parseTensor(f.bytes)
+			if err != nil {
+				return err
+			}
+			g.Initializer = append(g.Initializer, t)
+		case 11, 12, 13: // input, output, value_info
+			vi, err := parseValueInfo(f.bytes)
+			if err != nil {
+				return err
+			}
+			switch f.num {
+			case 11:
+				g.Input = append(g.Input, vi)
+			case 12:
+				g.Output = append(g.Output, vi)
+			default:
+				g.ValueInfo = append(g.ValueInfo, vi)
+			}
+		}
+		return nil
+	})
+	return g, err
+}
+
+func parseNode(buf []byte) (*NodeProto, error) {
+	n := &NodeProto{}
+	err := walk(buf, func(f field) error {
+		switch f.num {
+		case 1:
+			n.Input = append(n.Input, string(f.bytes))
+		case 2:
+			n.Output = append(n.Output, string(f.bytes))
+		case 3:
+			n.Name = string(f.bytes)
+		case 4:
+			n.OpType = string(f.bytes)
+		case 5:
+			a, err := parseAttribute(f.bytes)
+			if err != nil {
+				return err
+			}
+			n.Attribute = append(n.Attribute, a)
+		case 7:
+			n.Domain = string(f.bytes)
+		}
+		return nil
+	})
+	return n, err
+}
+
+func parseAttribute(buf []byte) (*AttributeProto, error) {
+	a := &AttributeProto{}
+	err := walk(buf, func(f field) error {
+		switch f.num {
+		case 1:
+			a.Name = string(f.bytes)
+		case 2: // f (float, fixed32)
+			a.F = f32FromBits(uint32(f.varint))
+		case 3: // i
+			a.I = int64(f.varint)
+		case 4: // s
+			a.S = append([]byte(nil), f.bytes...)
+		case 5: // t
+			t, err := parseTensor(f.bytes)
+			if err != nil {
+				return err
+			}
+			a.T = t
+		case 7: // floats (packed or repeated fixed32)
+			if f.wire == wireI32 {
+				a.Floats = append(a.Floats, f32FromBits(uint32(f.varint)))
+			} else {
+				for i := 0; i+4 <= len(f.bytes); i += 4 {
+					a.Floats = append(a.Floats, f32FromBytes(f.bytes[i:]))
+				}
+			}
+		case 8: // ints
+			vals, err := packedInt64(f)
+			if err != nil {
+				return err
+			}
+			a.Ints = append(a.Ints, vals...)
+		case 20: // type
+			a.Type = int(f.varint)
+		}
+		return nil
+	})
+	return a, err
+}
+
+func parseTensor(buf []byte) (*TensorProto, error) {
+	t := &TensorProto{}
+	err := walk(buf, func(f field) error {
+		switch f.num {
+		case 1: // dims
+			vals, err := packedInt64(f)
+			if err != nil {
+				return err
+			}
+			t.Dims = append(t.Dims, vals...)
+		case 2: // data_type
+			t.DataType = int(f.varint)
+		case 4: // float_data
+			if f.wire == wireI32 {
+				t.FloatData = append(t.FloatData, f32FromBits(uint32(f.varint)))
+			} else {
+				for i := 0; i+4 <= len(f.bytes); i += 4 {
+					t.FloatData = append(t.FloatData, f32FromBytes(f.bytes[i:]))
+				}
+			}
+		case 7: // int64_data
+			vals, err := packedInt64(f)
+			if err != nil {
+				return err
+			}
+			t.Int64Data = append(t.Int64Data, vals...)
+		case 8: // name
+			t.Name = string(f.bytes)
+		case 9: // raw_data
+			t.RawData = append([]byte(nil), f.bytes...)
+		}
+		return nil
+	})
+	return t, err
+}
+
+func parseValueInfo(buf []byte) (*ValueInfoProto, error) {
+	vi := &ValueInfoProto{}
+	err := walk(buf, func(f field) error {
+		switch f.num {
+		case 1:
+			vi.Name = string(f.bytes)
+		case 2: // type -> TypeProto
+			return walk(f.bytes, func(tf field) error {
+				if tf.num != 1 { // tensor_type
+					return nil
+				}
+				return walk(tf.bytes, func(tt field) error {
+					switch tt.num {
+					case 1: // elem_type
+						vi.ElemType = int(tt.varint)
+					case 2: // shape -> TensorShapeProto
+						return walk(tt.bytes, func(sf field) error {
+							if sf.num != 1 { // dim
+								return nil
+							}
+							dim := int64(-1)
+							if err := walk(sf.bytes, func(df field) error {
+								if df.num == 1 { // dim_value
+									dim = int64(df.varint)
+								}
+								return nil
+							}); err != nil {
+								return err
+							}
+							vi.Dims = append(vi.Dims, dim)
+							return nil
+						})
+					}
+					return nil
+				})
+			})
+		}
+		return nil
+	})
+	return vi, err
+}

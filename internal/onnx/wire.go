@@ -1,0 +1,195 @@
+// Package onnx reads and writes ONNX model files (the protobuf
+// ModelProto format) without any protobuf dependency: a hand-written
+// wire-format codec covers the message subset PRoof needs — graphs,
+// nodes, attributes, tensors, and value infos. Imported models convert
+// to the internal graph IR; the exporter produces files other ONNX
+// tooling can read, and powers round-trip tests against the model zoo.
+package onnx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire types of the protobuf encoding.
+const (
+	wireVarint = 0
+	wireI64    = 1
+	wireBytes  = 2
+	wireI32    = 5
+)
+
+// field is one decoded protobuf field occurrence.
+type field struct {
+	num  int
+	wire int
+	// varint holds wireVarint and wireI64/wireI32 payloads.
+	varint uint64
+	// bytes holds wireBytes payloads (sub-messages, strings, packed
+	// repeated scalars).
+	bytes []byte
+}
+
+// decoder walks a protobuf buffer field by field.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.buf) }
+
+func (d *decoder) readVarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("onnx: truncated varint")
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("onnx: varint overflow")
+		}
+	}
+}
+
+// next decodes the next field.
+func (d *decoder) next() (field, error) {
+	tag, err := d.readVarint()
+	if err != nil {
+		return field{}, err
+	}
+	f := field{num: int(tag >> 3), wire: int(tag & 7)}
+	if f.num <= 0 {
+		return field{}, fmt.Errorf("onnx: invalid field number %d", f.num)
+	}
+	switch f.wire {
+	case wireVarint:
+		f.varint, err = d.readVarint()
+		return f, err
+	case wireI64:
+		if d.pos+8 > len(d.buf) {
+			return field{}, fmt.Errorf("onnx: truncated fixed64")
+		}
+		f.varint = binary.LittleEndian.Uint64(d.buf[d.pos:])
+		d.pos += 8
+		return f, nil
+	case wireI32:
+		if d.pos+4 > len(d.buf) {
+			return field{}, fmt.Errorf("onnx: truncated fixed32")
+		}
+		f.varint = uint64(binary.LittleEndian.Uint32(d.buf[d.pos:]))
+		d.pos += 4
+		return f, nil
+	case wireBytes:
+		n, err := d.readVarint()
+		if err != nil {
+			return field{}, err
+		}
+		if uint64(d.pos)+n > uint64(len(d.buf)) {
+			return field{}, fmt.Errorf("onnx: truncated bytes field (%d)", n)
+		}
+		f.bytes = d.buf[d.pos : d.pos+int(n)]
+		d.pos += int(n)
+		return f, nil
+	}
+	return field{}, fmt.Errorf("onnx: unsupported wire type %d", f.wire)
+}
+
+// walk invokes fn for each field of buf.
+func walk(buf []byte, fn func(field) error) error {
+	d := &decoder{buf: buf}
+	for !d.done() {
+		f, err := d.next()
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// packedInt64 decodes a packed repeated int64 payload; it also accepts
+// a single unpacked varint occurrence.
+func packedInt64(f field) ([]int64, error) {
+	if f.wire == wireVarint {
+		return []int64{int64(f.varint)}, nil
+	}
+	var out []int64
+	d := &decoder{buf: f.bytes}
+	for !d.done() {
+		v, err := d.readVarint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, int64(v))
+	}
+	return out, nil
+}
+
+// encoder builds a protobuf buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) varint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+func (e *encoder) tag(num, wire int) { e.varint(uint64(num)<<3 | uint64(wire)) }
+
+func (e *encoder) writeVarintField(num int, v uint64) {
+	e.tag(num, wireVarint)
+	e.varint(v)
+}
+
+func (e *encoder) writeBytesField(num int, b []byte) {
+	e.tag(num, wireBytes)
+	e.varint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) writeStringField(num int, s string) {
+	e.writeBytesField(num, []byte(s))
+}
+
+func (e *encoder) writeFloatField(num int, v float32) {
+	e.tag(num, wireI32)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) writeMessageField(num int, sub *encoder) {
+	e.writeBytesField(num, sub.buf)
+}
+
+func (e *encoder) writePackedInt64Field(num int, vals []int64) {
+	var sub encoder
+	for _, v := range vals {
+		sub.varint(uint64(v))
+	}
+	e.writeBytesField(num, sub.buf)
+}
+
+func f32FromBits(bits uint32) float32 { return math.Float32frombits(bits) }
+
+func f32FromBytes(b []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}
+
+func putF32(b []byte, v float32) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+}

@@ -1,0 +1,91 @@
+// Package parallel provides the small bounded-concurrency primitives the
+// experiment sweeps use: independent profiling runs (different models,
+// platforms, clock points) fan out across workers while preserving
+// result order and failing fast on the first error.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map applies f to every item using at most workers goroutines,
+// returning results in input order. The first error cancels the
+// remaining work (in-flight calls still finish) and is returned.
+// workers <= 0 selects GOMAXPROCS.
+func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			r, err := f(it)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	type job struct{ idx int }
+	jobs := make(chan job)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if failed() {
+					continue // drain remaining jobs after an error
+				}
+				r, err := f(items[j.idx])
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				results[j.idx] = r
+			}
+		}()
+	}
+	for i := range items {
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// ForEach is Map without results.
+func ForEach[T any](items []T, workers int, f func(T) error) error {
+	_, err := Map(items, workers, func(t T) (struct{}, error) {
+		return struct{}{}, f(t)
+	})
+	return err
+}

@@ -1,0 +1,86 @@
+package roofline
+
+import (
+	"fmt"
+
+	"proof/internal/analysis"
+	"proof/internal/backend"
+	"proof/internal/graph"
+	"proof/internal/hardware"
+	"proof/internal/models"
+)
+
+// PeakResult is the achieved roofline peak measured by running the
+// assembled pseudo model (§4.6, Table 6) on a backend.
+type PeakResult struct {
+	// FLOPS is the best attained FLOP/s over the MatMul operators.
+	FLOPS float64
+	// BW is the best attained bandwidth over the copy operators.
+	BW float64
+}
+
+// MeasurePeak runs the peak-test pseudo model (a series of MatMul and
+// memory-copy operators of different sizes) through the platform's
+// runtime at the given clocks and data type, and returns the best
+// attained compute rate and bandwidth — the *achieved* roofline, as
+// opposed to the datasheet peak.
+func MeasurePeak(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks, seed uint64) (PeakResult, error) {
+	g, err := models.Build("peak-test")
+	if err != nil {
+		return PeakResult{}, err
+	}
+	g.ConvertFloatTensors(dt)
+	rep, err := analysis.NewRep(g)
+	if err != nil {
+		return PeakResult{}, err
+	}
+	be, err := backend.Get(plat.Runtime)
+	if err != nil {
+		return PeakResult{}, err
+	}
+	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: dt, Batch: 1, Clocks: clk})
+	if err != nil {
+		return PeakResult{}, err
+	}
+
+	works := eng.Works()
+	timings := eng.Timings(seed)
+	var res PeakResult
+	for i, w := range works {
+		t := timings[i]
+		sec := t.Latency.Seconds()
+		if sec <= 0 {
+			continue
+		}
+		if w.ModelFLOP > 0 {
+			if f := float64(w.ModelFLOP) / sec; f > res.FLOPS {
+				res.FLOPS = f
+			}
+		} else if w.Bytes > 0 {
+			if b := float64(w.Bytes) / sec; b > res.BW {
+				res.BW = b
+			}
+		}
+	}
+	if res.FLOPS == 0 || res.BW == 0 {
+		return res, fmt.Errorf("roofline: peak test produced no usable operators")
+	}
+	return res, nil
+}
+
+// MeasuredModel builds a roofline Model whose ceilings come from the
+// achieved peak test rather than the platform constants.
+func MeasuredModel(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks, seed uint64) (Model, error) {
+	peak, err := MeasurePeak(plat, dt, clk, seed)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{
+		Platform:         plat.Key,
+		DType:            dt.String(),
+		PeakFLOPS:        peak.FLOPS,
+		PeakBW:           peak.BW,
+		TheoreticalFLOPS: plat.PeakAt(dt, clk.GPUMHz),
+		TheoreticalBW:    plat.BWAt(clk.EMCMHz),
+	}, nil
+}

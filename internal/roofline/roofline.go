@@ -1,0 +1,193 @@
+// Package roofline implements the roofline model [Williams et al. 2009]
+// as PRoof applies it to DNN inference: ceiling construction per
+// platform/data-type/clock, end-to-end and layer-wise analysis points
+// (arithmetic intensity vs attained FLOP/s), bound classification, and
+// the achieved-peak measurement of §4.6 that runs the assembled pseudo
+// model of MatMul and memory-copy operators through a backend.
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"proof/internal/graph"
+	"proof/internal/hardware"
+)
+
+// Model is the set of roofline ceilings for one platform configuration.
+type Model struct {
+	// Platform and DType identify the configuration.
+	Platform string `json:"platform"`
+	DType    string `json:"dtype"`
+	// PeakFLOPS is the achievable compute ceiling (FLOP/s).
+	PeakFLOPS float64 `json:"peak_flops"`
+	// PeakBW is the achievable memory bandwidth ceiling (B/s).
+	PeakBW float64 `json:"peak_bw"`
+	// TheoreticalFLOPS / TheoreticalBW are the datasheet values.
+	TheoreticalFLOPS float64 `json:"theoretical_flops"`
+	TheoreticalBW    float64 `json:"theoretical_bw"`
+	// ExtraBWLines optionally adds bandwidth ceilings for alternative
+	// memory clocks (the yellow/red lines of Figure 8).
+	ExtraBWLines []BWLine `json:"extra_bw_lines,omitempty"`
+}
+
+// BWLine is an additional bandwidth ceiling annotation.
+type BWLine struct {
+	// Label describes the line (e.g. "EMC 2133 MHz").
+	Label string `json:"label"`
+	// BW is the bandwidth in B/s.
+	BW float64 `json:"bw"`
+}
+
+// NewModel builds the roofline ceilings for a platform, data type and
+// clock configuration (zero clocks = platform maximum).
+func NewModel(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks) Model {
+	return Model{
+		Platform:         plat.Key,
+		DType:            dt.String(),
+		PeakFLOPS:        plat.PeakAt(dt, clk.GPUMHz) * plat.MaxComputeEff,
+		PeakBW:           plat.BWAt(clk.EMCMHz) * plat.MaxMemEff,
+		TheoreticalFLOPS: plat.PeakAt(dt, clk.GPUMHz),
+		TheoreticalBW:    plat.BWAt(clk.EMCMHz),
+	}
+}
+
+// RidgeAI is the arithmetic intensity where the two ceilings meet.
+func (m Model) RidgeAI() float64 {
+	if m.PeakBW == 0 {
+		return math.Inf(1)
+	}
+	return m.PeakFLOPS / m.PeakBW
+}
+
+// AttainableFLOPS returns the roofline ceiling at a given arithmetic
+// intensity: min(peak, AI x BW).
+func (m Model) AttainableFLOPS(ai float64) float64 {
+	return math.Min(m.PeakFLOPS, ai*m.PeakBW)
+}
+
+// Point is one entity on a roofline chart: a whole model (end-to-end
+// analysis, Figure 4) or one backend layer (layer-wise analysis,
+// Figures 5, 6, 8).
+type Point struct {
+	// Name identifies the model or backend layer.
+	Name string `json:"name"`
+	// AI is the arithmetic intensity in FLOP/byte.
+	AI float64 `json:"ai"`
+	// FLOPS is the attained FLOP/s.
+	FLOPS float64 `json:"flops"`
+	// Bandwidth is the attained DRAM bandwidth in B/s.
+	Bandwidth float64 `json:"bandwidth"`
+	// Latency is the measured latency.
+	Latency time.Duration `json:"latency_ns"`
+	// Share is the latency share within the model (the opacity of
+	// Figure 5's points).
+	Share float64 `json:"share"`
+	// FLOP and Bytes are the totals behind the rates.
+	FLOP  int64 `json:"flop"`
+	Bytes int64 `json:"bytes"`
+	// Category tags the point for chart coloring ("dwconv", "pwconv",
+	// "matmul", "transpose", "copy", ...).
+	Category string `json:"category,omitempty"`
+	// Bound is the classification against the ceilings: "memory",
+	// "compute" or "ridge".
+	Bound string `json:"bound"`
+}
+
+// NewPoint derives a roofline point from raw measurements.
+func NewPoint(name string, flop, bytes int64, latency time.Duration, m Model) Point {
+	p := Point{Name: name, FLOP: flop, Bytes: bytes, Latency: latency}
+	sec := latency.Seconds()
+	if sec > 0 {
+		p.FLOPS = float64(flop) / sec
+		p.Bandwidth = float64(bytes) / sec
+	}
+	if bytes > 0 {
+		p.AI = float64(flop) / float64(bytes)
+	}
+	p.Bound = m.ClassifyBound(p.AI)
+	return p
+}
+
+// ClassifyBound reports whether an arithmetic intensity is left of the
+// ridge (memory-bound), right of it (compute-bound) or at it.
+func (m Model) ClassifyBound(ai float64) string {
+	ridge := m.RidgeAI()
+	switch {
+	case ai < ridge*0.95:
+		return "memory"
+	case ai > ridge*1.05:
+		return "compute"
+	}
+	return "ridge"
+}
+
+// Efficiency returns the point's attained fraction of the roofline
+// ceiling at its arithmetic intensity.
+func (m Model) Efficiency(p Point) float64 {
+	ceiling := m.AttainableFLOPS(p.AI)
+	if ceiling == 0 {
+		return 0
+	}
+	return p.FLOPS / ceiling
+}
+
+// LayerWise is a layer-granularity roofline analysis.
+type LayerWise struct {
+	// Model is the ceiling set.
+	Model Model `json:"model"`
+	// Points are the per-layer points in execution order.
+	Points []Point `json:"points"`
+}
+
+// TotalLatency sums the layer latencies.
+func (lw *LayerWise) TotalLatency() time.Duration {
+	var total time.Duration
+	for _, p := range lw.Points {
+		total += p.Latency
+	}
+	return total
+}
+
+// FillShares computes each point's latency share of the total.
+func (lw *LayerWise) FillShares() {
+	total := lw.TotalLatency().Seconds()
+	if total == 0 {
+		return
+	}
+	for i := range lw.Points {
+		lw.Points[i].Share = lw.Points[i].Latency.Seconds() / total
+	}
+}
+
+// ShareByCategory aggregates latency share per category — the basis of
+// statements like "transpose and data-copy layers take the most time"
+// (§4.5) or "depth-wise and point-wise convolution take about 70% of
+// the latency" (§4.6).
+func (lw *LayerWise) ShareByCategory() map[string]float64 {
+	total := lw.TotalLatency().Seconds()
+	out := map[string]float64{}
+	if total == 0 {
+		return out
+	}
+	for _, p := range lw.Points {
+		out[p.Category] += p.Latency.Seconds() / total
+	}
+	return out
+}
+
+// EndToEnd aggregates layers into a single whole-model point (Figure 4).
+func (lw *LayerWise) EndToEnd(name string) Point {
+	var flop, bytes int64
+	for _, p := range lw.Points {
+		flop += p.FLOP
+		bytes += p.Bytes
+	}
+	return NewPoint(name, flop, bytes, lw.TotalLatency(), lw.Model)
+}
+
+func (m Model) String() string {
+	return fmt.Sprintf("roofline{%s/%s: %.2f TFLOP/s, %.1f GB/s, ridge %.1f}",
+		m.Platform, m.DType, m.PeakFLOPS/1e12, m.PeakBW/1e9, m.RidgeAI())
+}

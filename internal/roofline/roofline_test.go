@@ -1,0 +1,178 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	_ "proof/internal/backend/ortsim"
+	_ "proof/internal/backend/ovsim"
+	_ "proof/internal/backend/trtsim"
+	"proof/internal/graph"
+	"proof/internal/hardware"
+)
+
+func a100Model(t *testing.T) Model {
+	t.Helper()
+	plat, err := hardware.Get("a100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewModel(plat, graph.Float16, hardware.Clocks{})
+}
+
+func TestModelCeilings(t *testing.T) {
+	m := a100Model(t)
+	if m.PeakFLOPS >= m.TheoreticalFLOPS {
+		t.Error("achievable peak must be below theoretical")
+	}
+	if m.PeakBW >= m.TheoreticalBW {
+		t.Error("achievable BW must be below theoretical")
+	}
+	ridge := m.RidgeAI()
+	if ridge < 100 || ridge > 300 {
+		t.Errorf("A100 fp16 ridge = %.1f, expected ~200", ridge)
+	}
+	// Below the ridge the ceiling is BW-limited, above it flat.
+	if got := m.AttainableFLOPS(ridge / 10); math.Abs(got-(ridge/10)*m.PeakBW) > 1 {
+		t.Error("below-ridge ceiling should be AI*BW")
+	}
+	if got := m.AttainableFLOPS(ridge * 10); got != m.PeakFLOPS {
+		t.Error("above-ridge ceiling should be peak FLOP/s")
+	}
+}
+
+func TestClassifyBound(t *testing.T) {
+	m := a100Model(t)
+	ridge := m.RidgeAI()
+	if m.ClassifyBound(ridge/2) != "memory" {
+		t.Error("half-ridge should be memory-bound")
+	}
+	if m.ClassifyBound(ridge*2) != "compute" {
+		t.Error("double-ridge should be compute-bound")
+	}
+	if m.ClassifyBound(ridge) != "ridge" {
+		t.Error("ridge should classify as ridge")
+	}
+}
+
+func TestNewPoint(t *testing.T) {
+	m := a100Model(t)
+	p := NewPoint("layer", 2e9, 1e8, 10*time.Millisecond, m)
+	if math.Abs(p.AI-20) > 1e-9 {
+		t.Errorf("AI = %v", p.AI)
+	}
+	if math.Abs(p.FLOPS-2e11) > 1e6 {
+		t.Errorf("FLOPS = %v", p.FLOPS)
+	}
+	if math.Abs(p.Bandwidth-1e10) > 1e5 {
+		t.Errorf("BW = %v", p.Bandwidth)
+	}
+	if p.Bound != "memory" {
+		t.Errorf("bound = %s (AI 20 is far below A100 ridge)", p.Bound)
+	}
+	if eff := m.Efficiency(p); eff <= 0 || eff > 1.5 {
+		t.Errorf("efficiency = %v", eff)
+	}
+	// Zero latency must not divide by zero.
+	z := NewPoint("z", 1, 1, 0, m)
+	if z.FLOPS != 0 {
+		t.Error("zero-latency point should have zero rate")
+	}
+}
+
+func TestLayerWiseAggregation(t *testing.T) {
+	m := a100Model(t)
+	lw := &LayerWise{Model: m}
+	lw.Points = append(lw.Points,
+		NewPoint("a", 1e9, 1e7, 2*time.Millisecond, m),
+		NewPoint("b", 3e9, 3e7, 6*time.Millisecond, m),
+	)
+	lw.Points[0].Category = "conv"
+	lw.Points[1].Category = "matmul"
+	lw.FillShares()
+	if math.Abs(lw.Points[0].Share-0.25) > 1e-9 || math.Abs(lw.Points[1].Share-0.75) > 1e-9 {
+		t.Errorf("shares = %v, %v", lw.Points[0].Share, lw.Points[1].Share)
+	}
+	if lw.TotalLatency() != 8*time.Millisecond {
+		t.Errorf("total = %v", lw.TotalLatency())
+	}
+	byCat := lw.ShareByCategory()
+	if math.Abs(byCat["matmul"]-0.75) > 1e-9 {
+		t.Errorf("ShareByCategory = %v", byCat)
+	}
+	e2e := lw.EndToEnd("model")
+	if e2e.FLOP != 4e9 || e2e.Bytes != 4e7 {
+		t.Errorf("end-to-end totals = %d FLOP, %d bytes", e2e.FLOP, e2e.Bytes)
+	}
+	if e2e.Latency != 8*time.Millisecond {
+		t.Errorf("end-to-end latency = %v", e2e.Latency)
+	}
+}
+
+func TestMeasurePeakA100(t *testing.T) {
+	plat, _ := hardware.Get("a100")
+	res, err := MeasurePeak(plat, graph.Float16, hardware.Clocks{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Achieved peak must approach but not exceed the achievable
+	// ceiling (±jitter).
+	maxF := plat.PeakAt(graph.Float16, 0) * plat.MaxComputeEff
+	if res.FLOPS < 0.5*maxF || res.FLOPS > 1.05*maxF {
+		t.Errorf("peak FLOPS = %.2f T (ceiling %.2f T)", res.FLOPS/1e12, maxF/1e12)
+	}
+	maxB := plat.MemBW * plat.MaxMemEff
+	if res.BW < 0.7*maxB || res.BW > 1.05*maxB {
+		t.Errorf("peak BW = %.1f GB/s (ceiling %.1f)", res.BW/1e9, maxB/1e9)
+	}
+}
+
+// TestMeasurePeakOrinMatchesTable6 checks the Table 6 reproduction: the
+// achieved roofline peaks at the paper's five clock configurations
+// should land near the published values.
+func TestMeasurePeakOrinMatchesTable6(t *testing.T) {
+	plat, _ := hardware.Get("orin-nx")
+	cases := []struct {
+		gpu, emc int
+		wantTF   float64 // paper TFLOP/s
+		wantGBps float64 // paper GB/s
+		tolFLOPS float64
+		tolBW    float64
+	}{
+		{918, 3199, 13.620, 87.879, 0.10, 0.10},
+		{918, 2133, 13.601, 62.031, 0.10, 0.25},
+		{510, 3199, 7.433, 54.002, 0.10, 0.35},
+		{510, 2133, 7.426, 53.017, 0.10, 0.35},
+		{510, 665, 7.359, 15.177, 0.35, 0.30},
+	}
+	for _, c := range cases {
+		clk := hardware.Clocks{GPUMHz: c.gpu, EMCMHz: c.emc, CPUClusters: 1}
+		res, err := MeasurePeak(plat, graph.Float16, clk, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.FLOPS/1e12-c.wantTF) / c.wantTF; rel > c.tolFLOPS {
+			t.Errorf("clocks %d/%d: FLOPS %.2f T vs paper %.2f T (err %.0f%%)",
+				c.gpu, c.emc, res.FLOPS/1e12, c.wantTF, rel*100)
+		}
+		if rel := math.Abs(res.BW/1e9-c.wantGBps) / c.wantGBps; rel > c.tolBW {
+			t.Errorf("clocks %d/%d: BW %.1f GB/s vs paper %.1f (err %.0f%%)",
+				c.gpu, c.emc, res.BW/1e9, c.wantGBps, rel*100)
+		}
+	}
+}
+
+func TestMeasuredModel(t *testing.T) {
+	plat, _ := hardware.Get("a100")
+	m, err := MeasuredModel(plat, graph.Float16, hardware.Clocks{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakFLOPS <= 0 || m.PeakBW <= 0 {
+		t.Error("measured model must have positive ceilings")
+	}
+	if m.PeakFLOPS > m.TheoreticalFLOPS {
+		t.Error("measured peak cannot exceed theoretical")
+	}
+}

@@ -1,0 +1,289 @@
+// Package proof is a from-scratch Go reproduction of PRoof (ICPP 2024):
+// a comprehensive hierarchical profiling framework for deep neural
+// networks with roofline analysis.
+//
+// PRoof profiles a DNN model on a (simulated) inference runtime and
+// hardware platform, maps the runtime's optimized backend layers back to
+// the original model-design layers, and performs end-to-end and
+// layer-wise roofline analysis — either with analytically predicted FLOP
+// and memory-access metrics (fast, platform-independent) or with
+// (simulated) hardware-counter measurements.
+//
+// Quick start:
+//
+//	report, err := proof.Profile(proof.Options{
+//		Model:    "resnet-50",
+//		Platform: "a100",
+//		Batch:    128,
+//	})
+//	if err != nil { ... }
+//	proof.WriteText(os.Stdout, report, 15)
+//
+// The package re-exports the stable API surface; the implementation
+// lives under internal/ (graph IR, model zoo, analysis representations,
+// simulated runtimes and hardware, roofline analysis, power tuning,
+// data viewer).
+package proof
+
+import (
+	"io"
+	"strings"
+
+	"proof/internal/advisor"
+	"proof/internal/core"
+	"proof/internal/dataviewer"
+	"proof/internal/distributed"
+	"proof/internal/graph"
+	"proof/internal/graphops"
+	"proof/internal/hardware"
+	"proof/internal/modelfmt"
+	"proof/internal/models"
+	"proof/internal/onnx"
+	"proof/internal/power"
+	"proof/internal/roofline"
+)
+
+// Options configures one profiling run. See core.Options.
+type Options = core.Options
+
+// Report is a complete profiling result.
+type Report = core.Report
+
+// LayerReport is the per-backend-layer result.
+type LayerReport = core.LayerReport
+
+// Mode selects predicted vs measured metrics.
+type Mode = core.Mode
+
+// Metric modes.
+const (
+	ModePredicted = core.ModePredicted
+	ModeMeasured  = core.ModeMeasured
+)
+
+// ModelInfo describes a zoo model.
+type ModelInfo = models.Info
+
+// Platform describes a hardware platform.
+type Platform = hardware.Platform
+
+// Clocks is a DVFS clock configuration.
+type Clocks = hardware.Clocks
+
+// Graph is the model intermediate representation.
+type Graph = graph.Graph
+
+// DataType is a tensor element type.
+type DataType = graph.DataType
+
+// Tensor element types.
+const (
+	Float32 = graph.Float32
+	Float16 = graph.Float16
+	Int8    = graph.Int8
+)
+
+// RooflineModel is a set of roofline ceilings.
+type RooflineModel = roofline.Model
+
+// RooflinePoint is one roofline chart point.
+type RooflinePoint = roofline.Point
+
+// Profile runs the full PRoof pipeline: build → optimize on the backend
+// → profile → layer mapping → metrics → roofline analysis.
+func Profile(opts Options) (*Report, error) { return core.Profile(opts) }
+
+// Models lists the model zoo (all Table 3 models plus the peak test).
+func Models() []ModelInfo { return models.List() }
+
+// BuildModel constructs a zoo model graph at batch 1.
+func BuildModel(key string) (*Graph, error) { return models.Build(key) }
+
+// Platforms lists the evaluation hardware platforms (Table 2).
+func Platforms() []*Platform { return hardware.List() }
+
+// LookupPlatform returns a platform by key.
+func LookupPlatform(key string) (*Platform, error) { return hardware.Get(key) }
+
+// SaveModel writes a model graph to the JSON model format.
+func SaveModel(g *Graph, w io.Writer) error { return modelfmt.Save(g, w) }
+
+// LoadModel reads a model graph from the JSON model format.
+func LoadModel(r io.Reader) (*Graph, error) { return modelfmt.Load(r) }
+
+// LoadModelFile reads a model graph from a file path. Files ending in
+// ".onnx" are parsed as ONNX protobuf; everything else as the JSON
+// model format.
+func LoadModelFile(path string) (*Graph, error) {
+	if strings.HasSuffix(path, ".onnx") {
+		return onnx.LoadFile(path)
+	}
+	return modelfmt.LoadFile(path)
+}
+
+// LoadONNX parses an ONNX model (protobuf ModelProto) from r.
+func LoadONNX(r io.Reader) (*Graph, error) { return onnx.Load(r) }
+
+// ExportONNX serializes a graph as ONNX protobuf bytes (structural
+// export: weight payloads are omitted, small integer constants kept).
+func ExportONNX(g *Graph) ([]byte, error) { return onnx.Export(g) }
+
+// SaveModelFile writes a model graph to a path, choosing ONNX protobuf
+// for ".onnx" and the JSON format otherwise.
+func SaveModelFile(g *Graph, path string) error {
+	if strings.HasSuffix(path, ".onnx") {
+		return onnx.SaveFile(g, path)
+	}
+	return modelfmt.SaveFile(g, path)
+}
+
+// WriteText renders a report as text (summary, category shares, top
+// layers).
+func WriteText(w io.Writer, r *Report, topN int) { dataviewer.WriteText(w, r, topN) }
+
+// WriteFullStackTrace renders the Figure 3 hierarchy: model design
+// layer(s) -> backend layer -> kernels, with attributed latencies.
+func WriteFullStackTrace(w io.Writer, r *Report, maxLayers int) {
+	dataviewer.WriteFullStackTrace(w, r, maxLayers)
+}
+
+// AttributeKernel maps a kernel name back to the model-design layers
+// responsible for it (the upward Figure 3 mapping).
+func AttributeKernel(r *Report, kernelName string) (modelLayers []string, backendLayer string, ok bool) {
+	return dataviewer.AttributeKernel(r, kernelName)
+}
+
+// OptimizeStats summarizes a graph-optimization run.
+type OptimizeStats = graphops.OptimizeStats
+
+// OptimizeGraph applies runtime-style cleanup passes in place: identity
+// elimination, shape-chain constant folding, dead-node elimination.
+func OptimizeGraph(g *Graph) (OptimizeStats, error) { return graphops.Optimize(g) }
+
+// QuantizeInt8 converts a float model to the int8 deployment form with
+// explicit QuantizeLinear/DequantizeLinear boundary nodes.
+func QuantizeInt8(g *Graph) (int, error) { return graphops.QuantizeInt8(g) }
+
+// BatchPoint is one point of a batch-size sweep.
+type BatchPoint = core.BatchPoint
+
+// PlatformResult is one row of a cross-platform sweep.
+type PlatformResult = core.PlatformResult
+
+// PlatformSweep profiles a model on every platform at its default
+// configuration and ranks the results by throughput — the deployment
+// question behind Figure 4.
+func PlatformSweep(model string, mode Mode) ([]PlatformResult, error) {
+	return core.PlatformSweep(model, mode)
+}
+
+// RunStats aggregates repeated profiling runs.
+type RunStats = core.RunStats
+
+// ProfileRuns profiles the same configuration several times with
+// different jitter seeds and reports latency statistics (best-of-N).
+func ProfileRuns(opts Options, runs int) (*RunStats, error) { return core.ProfileRuns(opts, runs) }
+
+// OptimalBatch sweeps batch sizes and returns the throughput-optimal
+// one (how the paper picks the Table 5 batch sizes). nil candidates =
+// powers of two up to 2048.
+func OptimalBatch(opts Options, candidates []int) (int, []BatchPoint, error) {
+	return core.OptimalBatch(opts, candidates)
+}
+
+// DistributedOptions configures a data-parallel profiling run (§5
+// future work: adapting PRoof to distributed environments).
+type DistributedOptions = distributed.Options
+
+// DistributedResult is a data-parallel profiling result.
+type DistributedResult = distributed.Result
+
+// ScalingPoint is one point of a device-scaling curve.
+type ScalingPoint = distributed.ScalingPoint
+
+// ProfileDistributed simulates data-parallel inference of a global
+// batch across N identical devices.
+func ProfileDistributed(opts DistributedOptions) (*DistributedResult, error) {
+	return distributed.Profile(opts)
+}
+
+// DistributedScalingCurve sweeps device counts and reports throughput
+// and scaling efficiency.
+func DistributedScalingCurve(opts DistributedOptions, deviceCounts []int) ([]ScalingPoint, error) {
+	return distributed.ScalingCurve(opts, deviceCounts)
+}
+
+// RenderHTML renders a report as a self-contained HTML page with SVG
+// roofline charts.
+func RenderHTML(r *Report) string { return dataviewer.ReportHTML(r) }
+
+// WriteCSV exports the per-layer results as CSV.
+func WriteCSV(w io.Writer, r *Report) error { return dataviewer.WriteCSV(w, r) }
+
+// WriteChromeTrace exports the profiled timeline in the Chrome
+// trace-event format for chrome://tracing / Perfetto.
+func WriteChromeTrace(w io.Writer, r *Report) error { return dataviewer.WriteChromeTrace(w, r) }
+
+// CompareReports renders a side-by-side summary of two reports.
+func CompareReports(w io.Writer, label1 string, r1 *Report, label2 string, r2 *Report) {
+	dataviewer.CompareReports(w, label1, r1, label2, r2)
+}
+
+// RooflineSVG renders a roofline chart for arbitrary points.
+func RooflineSVG(m RooflineModel, points []RooflinePoint, title string) string {
+	return dataviewer.RooflineSVG(m, points, dataviewer.ChartOptions{Title: title})
+}
+
+// ParseDataType converts a data type name ("fp16", "int8", ...).
+func ParseDataType(s string) (DataType, error) { return graph.ParseDataType(s) }
+
+// Finding is one advisor finding.
+type Finding = advisor.Finding
+
+// Advise turns a report into optimization guidance, automating the
+// paper's §4.3-§4.6 insights (memory-bound models, depth-wise
+// convolutions, data-movement-dominated latency, overhead-bound
+// batches, roofline headroom).
+func Advise(r *Report) []Finding { return advisor.Analyze(r) }
+
+// WriteFindings renders advisor findings as text.
+func WriteFindings(w io.Writer, findings []Finding) { advisor.WriteFindings(w, findings) }
+
+// PowerProfile is an nvpmodel-style clock/power profile.
+type PowerProfile = power.Profile
+
+// PowerResult is a workload evaluation under a power profile.
+type PowerResult = power.WorkloadResult
+
+// TuneResult is the outcome of the clock-tuning workflow (§4.6).
+type TuneResult = power.TuneResult
+
+// PeakResult is an achieved roofline peak measurement.
+type PeakResult = roofline.PeakResult
+
+// StockPowerProfiles returns the platform's built-in nvpmodel profiles
+// (Jetson Orin NX: MAXN, 15W, 25W).
+func StockPowerProfiles() []PowerProfile { return power.StockProfiles() }
+
+// EvaluatePowerProfile profiles a workload under a clock profile and
+// returns latency and power.
+func EvaluatePowerProfile(platform, model string, batch int, dt DataType, p PowerProfile) (PowerResult, error) {
+	return power.EvaluateProfile(platform, model, batch, dt, p)
+}
+
+// TuneClocks runs the §4.6 tuning workflow: pick the memory clock via
+// roofline bandwidth-line analysis, then binary-search the GPU clock
+// under the power budget.
+func TuneClocks(platform, model string, batch int, dt DataType, budgetW, affectedThreshold float64) (*TuneResult, error) {
+	return power.Tune(platform, model, batch, dt, budgetW, affectedThreshold)
+}
+
+// MeasurePeak measures the achieved roofline peak of a platform with
+// the §4.6 pseudo model (MatMul and memory-copy operators).
+func MeasurePeak(platform string, dt DataType, clk Clocks) (PeakResult, error) {
+	plat, err := hardware.Get(platform)
+	if err != nil {
+		return PeakResult{}, err
+	}
+	return roofline.MeasurePeak(plat, dt, clk, 1)
+}
