@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -22,11 +24,26 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment: table2|table3|table4|table4layers|table5|table6|table7|figure4|figure5|figure6|figure8|all")
-		outdir = flag.String("outdir", "", "directory for SVG chart output (optional)")
-		batch  = flag.Int("batch", 0, "override the evaluation batch size where applicable (0 = paper values)")
+		run        = flag.String("run", "all", "experiment: table2|table3|table4|table4layers|table5|table6|table7|figure4|figure5|figure6|figure8|all")
+		outdir     = flag.String("outdir", "", "directory for SVG chart output (optional)")
+		batch      = flag.Int("batch", 0, "override the evaluation batch size where applicable (0 = paper values)")
+		cacheStats = flag.Bool("cache-stats", false, "print the shared profiling session's cache counters on exit")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the figure-4 fan-out instead of killing the
+	// process mid-chart; the remaining experiments run serially and
+	// finish their current table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *cacheStats {
+		defer func() {
+			st := experiments.SessionStats()
+			fmt.Fprintf(os.Stderr, "session cache: %d hits, %d misses, %d dedups, %d evictions, %d cached\n",
+				st.Hits, st.Misses, st.Dedups, st.Evictions, st.Size)
+		}()
+	}
 
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -78,7 +95,7 @@ func main() {
 		ran++
 	}
 	if all || want["figure4"] {
-		series, err := experiments.Figure4All()
+		series, err := experiments.Figure4AllCtx(ctx)
 		if err != nil {
 			fatal(err)
 		}

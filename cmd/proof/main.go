@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"proof"
 )
@@ -48,8 +50,26 @@ func main() {
 		advise       = flag.Bool("advise", false, "print optimization guidance derived from the roofline analysis")
 		allPlatforms = flag.Bool("all-platforms", false, "profile the model on every platform and rank by throughput")
 		runs         = flag.Int("runs", 1, "profiling runs for latency statistics (best-of-N)")
+		cacheStats   = flag.Bool("cache-stats", false, "print the session cache counters (hits/misses/dedups) on exit")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the profiling pipeline and any in-flight sweep
+	// fan-out instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// All profiling in this invocation goes through one cached session:
+	// a -compare or -runs invocation revisiting the same configuration
+	// is served from cache, and -cache-stats shows the counters.
+	sess := proof.NewSession(0)
+	if *cacheStats {
+		defer func() {
+			st := sess.Stats()
+			fmt.Fprintf(os.Stderr, "session cache: %d hits, %d misses, %d dedups, %d evictions, %d cached\n",
+				st.Hits, st.Misses, st.Dedups, st.Evictions, st.Size)
+		}()
+	}
 
 	if *listModels {
 		fmt.Printf("%-4s %-22s %-22s %-6s\n", "#", "key", "name", "type")
@@ -122,7 +142,7 @@ func main() {
 		if *model == "" {
 			fatal(fmt.Errorf("-all-platforms requires -model"))
 		}
-		results, err := proof.PlatformSweep(*model, proof.Mode(*mode))
+		results, err := proof.PlatformSweepCtx(ctx, *model, proof.Mode(*mode), sess)
 		if err != nil {
 			fatal(err)
 		}
@@ -157,12 +177,12 @@ func main() {
 		return
 	}
 
-	report, err := proof.Profile(opts)
+	report, err := sess.ProfileCtx(ctx, opts)
 	if err != nil {
 		fatal(err)
 	}
 	if *runs > 1 {
-		stats, err := proof.ProfileRuns(opts, *runs)
+		stats, err := proof.ProfileRunsCtx(ctx, opts, *runs, sess)
 		if err != nil {
 			fatal(err)
 		}
@@ -185,7 +205,7 @@ func main() {
 		other := opts
 		other.Graph = nil
 		other.Model = *compareWith
-		rhs, err := proof.Profile(other)
+		rhs, err := sess.ProfileCtx(ctx, other)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -23,6 +24,23 @@ var DefaultBatchCandidates = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 
 // throughput" for Table 5. The sweep stops early once throughput
 // saturates (two consecutive candidates within 1%).
 func OptimalBatch(opts Options, candidates []int) (int, []BatchPoint, error) {
+	return OptimalBatchCtx(context.Background(), opts, candidates)
+}
+
+// OptimalBatchCtx is OptimalBatch with cancellation: the sweep checks
+// ctx before each batch point and aborts with ctx.Err() when cancelled,
+// returning the points measured so far.
+func OptimalBatchCtx(ctx context.Context, opts Options, candidates []int) (int, []BatchPoint, error) {
+	return OptimalBatchWith(ctx, opts, candidates, ProfileCtx)
+}
+
+// OptimalBatchWith runs the batch sweep through a custom profiling
+// function (typically a caching session's ProfileCtx), so repeated
+// sweeps over overlapping batch grids reuse cached points.
+func OptimalBatchWith(ctx context.Context, opts Options, candidates []int, profile func(context.Context, Options) (*Report, error)) (int, []BatchPoint, error) {
+	if profile == nil {
+		profile = ProfileCtx
+	}
 	if candidates == nil {
 		candidates = DefaultBatchCandidates
 	}
@@ -34,9 +52,12 @@ func OptimalBatch(opts Options, candidates []int) (int, []BatchPoint, error) {
 	bestTP := 0.0
 	prevTP := 0.0
 	for _, b := range candidates {
+		if err := ctx.Err(); err != nil {
+			return 0, points, err
+		}
 		o := opts
 		o.Batch = b
-		r, err := Profile(o)
+		r, err := profile(ctx, o)
 		if err != nil {
 			return 0, points, fmt.Errorf("core: batch sweep at %d: %w", b, err)
 		}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -140,6 +141,18 @@ type Report struct {
 
 // Profile runs the full PRoof pipeline.
 func Profile(opts Options) (*Report, error) {
+	return ProfileCtx(context.Background(), opts)
+}
+
+// ProfileCtx runs the full PRoof pipeline, honoring cancellation and
+// deadline between pipeline stages (model build, backend build,
+// profiling, layer mapping, metric collection). The pipeline stages
+// themselves are synchronous; ctx is checked at each stage boundary so
+// an abandoned request stops doing work at the next opportunity.
+func ProfileCtx(ctx context.Context, opts Options) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	plat, err := hardware.Get(opts.Platform)
 	if err != nil {
 		return nil, err
@@ -191,16 +204,25 @@ func Profile(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	cfg := backend.Config{Platform: plat, DType: dt, Batch: batch, Clocks: opts.Clocks}
 	eng, err := be.Build(rep, cfg)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Built-in profiler: per-layer latencies (all the runtime gives).
 	prof, err := eng.Profile(opts.Seed)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -210,6 +232,9 @@ func Profile(opts Options) (*Report, error) {
 	mapping, err := be.MapLayers(eng, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: layer mapping on %s: %w", backendKey, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Roofline ceilings.
@@ -240,9 +265,13 @@ func Profile(opts Options) (*Report, error) {
 		ParamsM:   float64(g.ParamCount()) / 1e6,
 	}
 
-	// Measured metrics, when requested.
+	// Measured metrics, when requested. The counter-profiler replay is
+	// the most expensive stage, so check for abandonment right before.
 	var measured map[string]ncusim.LayerMeasurement
 	if mode == ModeMeasured {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res, err := ncusim.Measure(eng, opts.Seed)
 		if err != nil {
 			return nil, err

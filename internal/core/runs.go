@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -29,15 +30,35 @@ type RunStats struct {
 // ProfileRuns profiles the same configuration `runs` times with
 // different jitter seeds and aggregates the latency statistics.
 func ProfileRuns(opts Options, runs int) (*RunStats, error) {
+	return ProfileRunsCtx(context.Background(), opts, runs)
+}
+
+// ProfileRunsCtx is ProfileRuns with cancellation: ctx is checked
+// before each run and passed to the profiling pipeline.
+func ProfileRunsCtx(ctx context.Context, opts Options, runs int) (*RunStats, error) {
+	return ProfileRunsWith(ctx, opts, runs, ProfileCtx)
+}
+
+// ProfileRunsWith aggregates repeated runs through a custom profiling
+// function (typically a caching session's ProfileCtx). Each run varies
+// the jitter seed, so distinct runs are distinct cache entries; a
+// repeated best-of-N over the same base seed is fully cache-served.
+func ProfileRunsWith(ctx context.Context, opts Options, runs int, profile func(context.Context, Options) (*Report, error)) (*RunStats, error) {
+	if profile == nil {
+		profile = ProfileCtx
+	}
 	if runs < 1 {
 		return nil, fmt.Errorf("core: runs must be >= 1")
 	}
 	stats := &RunStats{Runs: runs}
 	var latencies []float64
 	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		o := opts
 		o.Seed = opts.Seed + uint64(i)
-		r, err := Profile(o)
+		r, err := profile(ctx, o)
 		if err != nil {
 			return nil, err
 		}

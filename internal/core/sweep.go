@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -35,20 +36,45 @@ type PlatformResult struct {
 // are ordered by throughput, descending, with unsupported platforms
 // last.
 func PlatformSweep(model string, mode Mode) ([]PlatformResult, error) {
+	return PlatformSweepCtx(context.Background(), model, mode)
+}
+
+// PlatformSweepCtx is PlatformSweep with cancellation: cancelling ctx
+// stops dispatching platforms and returns ctx.Err(). The per-platform
+// profiling runs receive the same context. Profiler is the pluggable
+// profiling function used for each platform point (nil = ProfileCtx),
+// which lets a cached session serve the sweep.
+func PlatformSweepCtx(ctx context.Context, model string, mode Mode) ([]PlatformResult, error) {
+	return platformSweep(ctx, model, mode, ProfileCtx)
+}
+
+// PlatformSweepWith runs the sweep through a custom profiling function
+// (typically a caching session's ProfileCtx).
+func PlatformSweepWith(ctx context.Context, model string, mode Mode, profile func(context.Context, Options) (*Report, error)) ([]PlatformResult, error) {
+	if profile == nil {
+		profile = ProfileCtx
+	}
+	return platformSweep(ctx, model, mode, profile)
+}
+
+func platformSweep(ctx context.Context, model string, mode Mode, profile func(context.Context, Options) (*Report, error)) ([]PlatformResult, error) {
 	info, ok := models.Lookup(model)
 	if !ok {
 		return nil, errUnknownModel(model)
 	}
 	platforms := hardware.List()
-	results, err := parallel.Map(platforms, 0, func(p *hardware.Platform) (PlatformResult, error) {
+	results, err := parallel.MapCtx(ctx, platforms, 0, func(ctx context.Context, p *hardware.Platform) (PlatformResult, error) {
 		if !p.Supports(info.Type) {
 			return PlatformResult{
 				Platform: p.Key,
 				Reason:   "platform does not support " + info.Type + " models",
 			}, nil
 		}
-		r, err := Profile(Options{Model: model, Platform: p.Key, Mode: mode})
+		r, err := profile(ctx, Options{Model: model, Platform: p.Key, Mode: mode})
 		if err != nil {
+			if ctx.Err() != nil {
+				return PlatformResult{}, ctx.Err()
+			}
 			return PlatformResult{Platform: p.Key, Reason: err.Error()}, nil
 		}
 		return PlatformResult{

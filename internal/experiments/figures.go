@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -96,7 +97,19 @@ func Figure4(platform string) (*Figure4Series, error) {
 // Figure4All runs Figure 4 for every platform, fanning the independent
 // platform sweeps across workers.
 func Figure4All() ([]*Figure4Series, error) {
-	return parallel.Map(hardware.List(), 0, func(p *hardware.Platform) (*Figure4Series, error) {
+	return Figure4AllCtx(context.Background())
+}
+
+// Figure4AllCtx is Figure4All with cancellation: cancelling ctx stops
+// dispatching platforms and unwinds the fan-out with ctx.Err(). Every
+// per-model profiling point goes through the shared session, so a
+// regeneration that already profiled an overlapping point (say Figure 5
+// after Figure 4 on the A100) is served from cache.
+func Figure4AllCtx(ctx context.Context) ([]*Figure4Series, error) {
+	return parallel.MapCtx(ctx, hardware.List(), 0, func(ctx context.Context, p *hardware.Platform) (*Figure4Series, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return Figure4(p.Key)
 	})
 }

@@ -17,6 +17,7 @@ import (
 	"proof/internal/hardware"
 	"proof/internal/models"
 	"proof/internal/ncusim"
+	"proof/internal/profsession"
 )
 
 // Table2Row describes one evaluation platform (Table 2).
@@ -238,10 +239,26 @@ func FormatTable4(rows []Table4Row) string {
 	return sb.String()
 }
 
-// profileFor wraps core.Profile with experiment conventions.
+// session is the shared profiling session of the experiments package:
+// tables and figures overlap heavily in the (model, platform, batch)
+// points they profile (Figure 5 revisits Figure 4's A100 points, the
+// shufflenet experiments revisit Figure 6's, a full `-run all` touches
+// many points twice), so routing them through one cache makes a full
+// regeneration pay for each unique configuration once.
+var session = profsession.New(512)
+
+// SessionStats snapshots the shared session's cache counters, for the
+// CLI's observability output.
+func SessionStats() profsession.Stats { return session.Stats() }
+
+// ResetSession empties the shared report cache (tests use this to make
+// experiments hermetic).
+func ResetSession() { session.Reset() }
+
+// profileFor wraps the shared session with experiment conventions.
 func profileFor(model, platform string, batch int, opts core.Options) (*core.Report, error) {
 	opts.Model = model
 	opts.Platform = platform
 	opts.Batch = batch
-	return core.Profile(opts)
+	return session.Profile(opts)
 }

@@ -96,6 +96,40 @@ func broadcast(a, b Shape) (Shape, error) {
 	return out, nil
 }
 
+// normAxis resolves a possibly-negative axis attribute against a rank
+// and rejects out-of-range values — adversarial model files carry
+// arbitrary axes, which must error instead of indexing out of range.
+func normAxis(op string, axis, rank int) (int, error) {
+	resolved := axis
+	if resolved < 0 {
+		resolved += rank
+	}
+	if resolved < 0 || resolved >= rank {
+		return 0, fmt.Errorf("%s: axis %d out of range for rank %d", op, axis, rank)
+	}
+	return resolved, nil
+}
+
+// spatial2D validates the strides/pads/dilations attributes of a 2-D
+// conv/pool window. Adversarial model files can carry short lists or
+// non-positive strides, which would otherwise index out of range or
+// divide by zero in poolDim.
+func spatial2D(n *Node) (strides, pads, dil []int, err error) {
+	strides = n.Attrs.Ints("strides", []int{1, 1})
+	pads = n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	dil = n.Attrs.Ints("dilations", []int{1, 1})
+	if len(strides) != 2 || strides[0] <= 0 || strides[1] <= 0 {
+		return nil, nil, nil, fmt.Errorf("%s: invalid strides %v", n.OpType, strides)
+	}
+	if len(pads) != 4 {
+		return nil, nil, nil, fmt.Errorf("%s: invalid pads %v", n.OpType, pads)
+	}
+	if len(dil) != 2 || dil[0] <= 0 || dil[1] <= 0 {
+		return nil, nil, nil, fmt.Errorf("%s: invalid dilations %v", n.OpType, dil)
+	}
+	return strides, pads, dil, nil
+}
+
 // poolDim computes one spatial output dimension of a conv/pool window.
 func poolDim(in, k, stride, padBegin, padEnd, dilation int, ceilMode bool) int {
 	eff := (k-1)*dilation + 1
@@ -328,9 +362,13 @@ func (c *inferCtx) inferConv(n *Node) error {
 		return fmt.Errorf("Conv expects 4-D input and weight, got %v and %v", x.Shape, w.Shape)
 	}
 	group := n.Attrs.Int("group", 1)
-	strides := n.Attrs.Ints("strides", []int{1, 1})
-	dil := n.Attrs.Ints("dilations", []int{1, 1})
-	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	if group <= 0 {
+		return fmt.Errorf("Conv: invalid group %d", group)
+	}
+	strides, pads, dil, err := spatial2D(n)
+	if err != nil {
+		return err
+	}
 	kh, kw := w.Shape[2], w.Shape[3]
 	if cinPerGroup := w.Shape[1]; cinPerGroup*group != x.Shape[1] {
 		return fmt.Errorf("Conv channel mismatch: input C=%d, weight Cin/g=%d, group=%d", x.Shape[1], cinPerGroup, group)
@@ -350,9 +388,17 @@ func (c *inferCtx) inferConvTranspose(n *Node) error {
 	if err != nil {
 		return err
 	}
+	if x.Shape.Rank() != 4 || w.Shape.Rank() != 4 {
+		return fmt.Errorf("ConvTranspose expects 4-D input and weight, got %v and %v", x.Shape, w.Shape)
+	}
 	group := n.Attrs.Int("group", 1)
-	strides := n.Attrs.Ints("strides", []int{1, 1})
-	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	if group <= 0 {
+		return fmt.Errorf("ConvTranspose: invalid group %d", group)
+	}
+	strides, pads, _, err := spatial2D(n)
+	if err != nil {
+		return err
+	}
 	kh, kw := w.Shape[2], w.Shape[3]
 	oh := (x.Shape[2]-1)*strides[0] + kh - pads[0] - pads[2]
 	ow := (x.Shape[3]-1)*strides[1] + kw - pads[1] - pads[3]
@@ -365,12 +411,17 @@ func (c *inferCtx) inferPool(n *Node) error {
 	if err != nil {
 		return err
 	}
+	if x.Shape.Rank() != 4 {
+		return fmt.Errorf("%s expects 4-D input, got %v", n.OpType, x.Shape)
+	}
 	k := n.Attrs.Ints("kernel_shape", nil)
 	if len(k) != 2 {
 		return fmt.Errorf("%s requires 2-D kernel_shape", n.OpType)
 	}
-	strides := n.Attrs.Ints("strides", []int{1, 1})
-	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	strides, pads, _, err := spatial2D(n)
+	if err != nil {
+		return err
+	}
 	ceil := n.Attrs.Int("ceil_mode", 0) == 1
 	oh := poolDim(x.Shape[2], k[0], strides[0], pads[0], pads[2], 1, ceil)
 	ow := poolDim(x.Shape[3], k[1], strides[1], pads[1], pads[3], 1, ceil)
@@ -566,9 +617,9 @@ func (c *inferCtx) inferConcat(n *Node) error {
 	if err != nil {
 		return err
 	}
-	axis := n.Attrs.Int("axis", 0)
-	if axis < 0 {
-		axis += first.Shape.Rank()
+	axis, err := normAxis("Concat", n.Attrs.Int("axis", 0), first.Shape.Rank())
+	if err != nil {
+		return err
 	}
 	out := first.Shape.Clone()
 	allKnown := true
@@ -609,9 +660,9 @@ func (c *inferCtx) inferSplit(n *Node) error {
 	if err != nil {
 		return err
 	}
-	axis := n.Attrs.Int("axis", 0)
-	if axis < 0 {
-		axis += x.Shape.Rank()
+	axis, err := normAxis("Split", n.Attrs.Int("axis", 0), x.Shape.Rank())
+	if err != nil {
+		return err
 	}
 	split := n.Attrs.Ints("split", nil)
 	if split == nil {
@@ -783,10 +834,14 @@ func (c *inferCtx) inferUnsqueeze(n *Node) error {
 	r := x.Shape.Rank() + len(axes)
 	ins := map[int]bool{}
 	for _, a := range axes {
-		if a < 0 {
-			a += r
+		a, err := normAxis("Unsqueeze", a, r)
+		if err != nil {
+			return err
 		}
 		ins[a] = true
+	}
+	if len(ins) != len(axes) {
+		return fmt.Errorf("Unsqueeze: duplicate axes %v", axes)
 	}
 	out := make(Shape, 0, r)
 	src := 0
@@ -813,9 +868,9 @@ func (c *inferCtx) inferGather(n *Node) error {
 	if err != nil {
 		return err
 	}
-	axis := n.Attrs.Int("axis", 0)
-	if axis < 0 {
-		axis += data.Shape.Rank()
+	axis, err := normAxis("Gather", n.Attrs.Int("axis", 0), data.Shape.Rank())
+	if err != nil {
+		return err
 	}
 	out := make(Shape, 0, data.Shape.Rank()-1+idx.Shape.Rank())
 	out = append(out, data.Shape[:axis]...)
@@ -1047,9 +1102,9 @@ func (c *inferCtx) inferTopK(n *Node) error {
 	if k <= 0 {
 		return fmt.Errorf("TopK requires k (attribute or constant input)")
 	}
-	axis := n.Attrs.Int("axis", -1)
-	if axis < 0 {
-		axis += x.Shape.Rank()
+	axis, err := normAxis("TopK", n.Attrs.Int("axis", -1), x.Shape.Rank())
+	if err != nil {
+		return err
 	}
 	out := x.Shape.Clone()
 	if k > out[axis] {

@@ -1,19 +1,54 @@
 // Package parallel provides the small bounded-concurrency primitives the
 // experiment sweeps use: independent profiling runs (different models,
 // platforms, clock points) fan out across workers while preserving
-// result order and failing fast on the first error.
+// result order and failing fast on the first error. The *Ctx variants
+// additionally honor context cancellation and deadlines, so a sweep can
+// be abandoned mid-flight (Ctrl-C on the CLI, a timed-out service
+// request) without leaking goroutines.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
-// Map applies f to every item using at most workers goroutines,
+// PanicError wraps a panic recovered from a worker function. Instead of
+// crashing the whole process (a panic on a bare goroutine is fatal), the
+// fan-out converts it into an error carrying the panic value and the
+// worker's stack trace, and fails the sweep fast like any other error.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the worker goroutine's stack at the panic site.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// call invokes f(ctx, item) converting a panic into a *PanicError.
+func call[T, R any](ctx context.Context, f func(context.Context, T) (R, error), item T) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return f(ctx, item)
+}
+
+// MapCtx applies f to every item using at most workers goroutines,
 // returning results in input order. The first error cancels the
-// remaining work (in-flight calls still finish) and is returned.
-// workers <= 0 selects GOMAXPROCS.
-func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
+// remaining work: in-flight calls finish (they can also observe the
+// cancellation through the context passed to f), queued items are never
+// started, and the first error is returned. Cancelling ctx aborts the
+// fan-out the same way, returning ctx.Err() if no worker failed first.
+// A panicking worker is captured as a *PanicError instead of crashing
+// the process. workers <= 0 selects GOMAXPROCS.
+func MapCtx[T, R any](ctx context.Context, items []T, workers int, f func(context.Context, T) (R, error)) ([]R, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -22,11 +57,14 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 	}
 	results := make([]R, len(items))
 	if len(items) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 	if workers <= 1 {
 		for i, it := range items {
-			r, err := f(it)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := call(ctx, f, it)
 			if err != nil {
 				return nil, err
 			}
@@ -35,8 +73,12 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 		return results, nil
 	}
 
-	type job struct{ idx int }
-	jobs := make(chan job)
+	// inner is cancelled on the first failure so workers processing
+	// long items can bail out early through the context they receive.
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -48,38 +90,65 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 			firstErr = err
 		}
 		mu.Unlock()
-	}
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
+		cancel()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				if failed() {
-					continue // drain remaining jobs after an error
+			for idx := range jobs {
+				if inner.Err() != nil {
+					continue // drain remaining jobs after an error or cancellation
 				}
-				r, err := f(items[j.idx])
+				r, err := call(inner, f, items[idx])
 				if err != nil {
 					setErr(err)
 					continue
 				}
-				results[j.idx] = r
+				results[idx] = r
 			}
 		}()
 	}
+dispatch:
 	for i := range items {
-		jobs <- job{idx: i}
+		select {
+		case jobs <- i:
+		case <-inner.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// No worker failed: if the fan-out still ended early, the caller's
+	// context was cancelled.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// ForEachCtx is MapCtx without results.
+func ForEachCtx[T any](ctx context.Context, items []T, workers int, f func(context.Context, T) error) error {
+	_, err := MapCtx(ctx, items, workers, func(ctx context.Context, t T) (struct{}, error) {
+		return struct{}{}, f(ctx, t)
+	})
+	return err
+}
+
+// Map applies f to every item using at most workers goroutines,
+// returning results in input order. The first error (or captured worker
+// panic) cancels the remaining work (in-flight calls still finish) and
+// is returned. workers <= 0 selects GOMAXPROCS.
+func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), items, workers, func(_ context.Context, t T) (R, error) {
+		return f(t)
+	})
 }
 
 // ForEach is Map without results.

@@ -1,0 +1,86 @@
+package profsession
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"proof/internal/core"
+	"proof/internal/graph"
+	"proof/internal/hardware"
+)
+
+// canonical is the content-addressed identity of a profiling request:
+// every core.Options field that influences the resulting report,
+// normalized so that two option values producing the same report hash
+// identically. Graphs are hashed by content (their canonical JSON),
+// not by pointer, so a rebuilt-but-identical graph still hits.
+type canonical struct {
+	Model            string          `json:"model,omitempty"`
+	GraphHash        string          `json:"graph_hash,omitempty"`
+	Platform         string          `json:"platform"`
+	Backend          string          `json:"backend,omitempty"`
+	Batch            int             `json:"batch,omitempty"`
+	DType            string          `json:"dtype,omitempty"`
+	Mode             core.Mode       `json:"mode,omitempty"`
+	Clocks           hardware.Clocks `json:"clocks"`
+	Seed             uint64          `json:"seed"`
+	MeasuredRoofline bool            `json:"measured_roofline,omitempty"`
+	IgnoreSupport    bool            `json:"ignore_support,omitempty"`
+}
+
+// Fingerprint derives the canonical cache key of a profiling request.
+// Options that differ only in ways the pipeline normalizes away (the
+// empty mode vs ModePredicted) map to the same fingerprint; anything
+// that can change the report — model or graph content, platform,
+// backend, batch, dtype, mode, clocks, jitter seed, roofline flags —
+// changes the key.
+func Fingerprint(opts core.Options) (string, error) {
+	c := canonical{
+		Model:            opts.Model,
+		Platform:         opts.Platform,
+		Backend:          opts.Backend,
+		Batch:            opts.Batch,
+		Mode:             opts.Mode,
+		Clocks:           opts.Clocks,
+		Seed:             opts.Seed,
+		MeasuredRoofline: opts.MeasuredRoofline,
+		IgnoreSupport:    opts.IgnoreSupport,
+	}
+	if c.Mode == "" {
+		c.Mode = core.ModePredicted
+	}
+	if opts.DType.Valid() {
+		c.DType = opts.DType.String()
+	}
+	if opts.Graph != nil {
+		h, err := GraphHash(opts.Graph)
+		if err != nil {
+			return "", err
+		}
+		c.GraphHash = h
+		// Profile ignores Model when a graph is supplied, except as a
+		// display-name fallback; the graph hash already covers g.Name.
+		c.Model = ""
+	}
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("profsession: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// GraphHash hashes a model graph by content. The graph's JSON form is
+// canonical — encoding/json sorts the tensor map keys — so two graphs
+// with identical structure hash identically regardless of construction
+// order or pointer identity.
+func GraphHash(g *graph.Graph) (string, error) {
+	payload, err := json.Marshal(g)
+	if err != nil {
+		return "", fmt.Errorf("profsession: graph hash: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}

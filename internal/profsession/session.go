@@ -1,0 +1,235 @@
+// Package profsession provides cached, deduplicated profiling sessions
+// on top of the core pipeline — the serving layer's answer to the
+// observation (Dooly, XSP) that profiling-based analysis only scales
+// when repeated runs over the same model/hardware configuration are
+// amortized. A Session keys every request by a content-addressed
+// fingerprint of its core.Options, serves repeats from an LRU report
+// cache, and collapses concurrent identical requests into a single
+// pipeline execution (singleflight), with hit/miss/eviction/in-flight
+// counters for observability.
+package profsession
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"proof/internal/core"
+)
+
+// DefaultCapacity is the report-cache capacity used when a Session is
+// created with capacity <= 0.
+const DefaultCapacity = 256
+
+// Stats is a point-in-time snapshot of a Session's counters.
+type Stats struct {
+	// Hits counts requests served from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts requests that executed the pipeline.
+	Misses int64 `json:"misses"`
+	// Evictions counts reports dropped by the LRU policy.
+	Evictions int64 `json:"evictions"`
+	// Dedups counts requests that attached to an identical in-flight
+	// execution instead of starting their own (singleflight shares).
+	Dedups int64 `json:"dedups"`
+	// Inflight is the number of pipeline executions running right now.
+	Inflight int64 `json:"inflight"`
+	// Size is the number of cached reports.
+	Size int `json:"size"`
+	// Capacity is the cache capacity.
+	Capacity int `json:"capacity"`
+}
+
+// call is one in-flight pipeline execution that duplicate requests wait
+// on.
+type call struct {
+	done chan struct{}
+	rep  *core.Report
+	err  error
+}
+
+// Session is a cached profiling front-end. It is safe for concurrent
+// use; the zero value is not usable — construct with New.
+type Session struct {
+	capacity int
+	profile  func(context.Context, core.Options) (*core.Report, error)
+
+	mu       sync.Mutex
+	order    *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	inflight map[string]*call
+
+	hits, misses, evictions, dedups, running atomic.Int64
+}
+
+type entry struct {
+	key string
+	rep *core.Report
+}
+
+// New creates a session with the given report-cache capacity
+// (<= 0 selects DefaultCapacity).
+func New(capacity int) *Session {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Session{
+		capacity: capacity,
+		profile:  core.ProfileCtx,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// NewWithProfiler creates a session that executes misses through a
+// custom profiling function — used by tests to count and delay
+// executions.
+func NewWithProfiler(capacity int, profile func(context.Context, core.Options) (*core.Report, error)) *Session {
+	s := New(capacity)
+	if profile != nil {
+		s.profile = profile
+	}
+	return s
+}
+
+// Profile is ProfileCtx with a background context.
+func (s *Session) Profile(opts core.Options) (*core.Report, error) {
+	return s.ProfileCtx(context.Background(), opts)
+}
+
+// ProfileCtx serves a profiling request, from cache when an identical
+// request (same canonical fingerprint) has run before, otherwise by
+// executing the pipeline once — concurrent identical requests share
+// that single execution. The returned report is a deep copy; callers
+// may mutate it freely without corrupting the cache. Errors are never
+// cached: a failed configuration is retried on the next request.
+//
+// When opts.Graph is set, the session profiles a clone: core.Profile
+// rebatches and dtype-converts the graph in place, which would both
+// surprise the caller and invalidate the content fingerprint.
+func (s *Session) ProfileCtx(ctx context.Context, opts core.Options) (*core.Report, error) {
+	key, err := Fingerprint(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		rep := el.Value.(*entry).rep
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return cloneReport(rep), nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.dedups.Add(1)
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			// This waiter gives up; the shared execution keeps
+			// running for the others.
+			return nil, ctx.Err()
+		}
+		if c.err != nil {
+			// The leader failed (possibly because *its* context was
+			// cancelled). Errors are not cached, so report the
+			// leader's error rather than retrying: retry policy
+			// belongs to the caller.
+			return nil, c.err
+		}
+		return cloneReport(c.rep), nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+	s.misses.Add(1)
+	s.running.Add(1)
+
+	run := opts
+	if run.Graph != nil {
+		run.Graph = run.Graph.Clone()
+	}
+	rep, err := s.profile(ctx, run)
+	c.rep, c.err = rep, err
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.insertLocked(key, rep)
+	}
+	s.mu.Unlock()
+	s.running.Add(-1)
+	close(c.done)
+
+	if err != nil {
+		return nil, err
+	}
+	return cloneReport(rep), nil
+}
+
+// insertLocked stores a report under key and applies the LRU bound.
+// s.mu must be held.
+func (s *Session) insertLocked(key string, rep *core.Report) {
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		el.Value.(*entry).rep = rep
+		return
+	}
+	s.entries[key] = s.order.PushFront(&entry{key: key, rep: rep})
+	for s.order.Len() > s.capacity {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*entry).key)
+		s.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the session counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	size := s.order.Len()
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Dedups:    s.dedups.Load(),
+		Inflight:  s.running.Load(),
+		Size:      size,
+		Capacity:  s.capacity,
+	}
+}
+
+// Reset empties the cache. Counters are preserved (they are lifetime
+// totals); in-flight executions are unaffected.
+func (s *Session) Reset() {
+	s.mu.Lock()
+	s.order.Init()
+	s.entries = make(map[string]*list.Element)
+	s.mu.Unlock()
+}
+
+// cloneReport deep-copies a report so cached state can never be
+// corrupted by a caller mutating its result. A manual copy (rather
+// than a JSON round-trip) keeps cache hits microsecond-cheap.
+func cloneReport(r *core.Report) *core.Report {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Roofline.ExtraBWLines = append(r.Roofline.ExtraBWLines[:0:0], r.Roofline.ExtraBWLines...)
+	if r.Layers != nil {
+		c.Layers = make([]core.LayerReport, len(r.Layers))
+		for i, l := range r.Layers {
+			cl := l
+			cl.OriginalNodes = append(l.OriginalNodes[:0:0], l.OriginalNodes...)
+			cl.OpTypes = append(l.OpTypes[:0:0], l.OpTypes...)
+			cl.Kernels = append(l.Kernels[:0:0], l.Kernels...)
+			c.Layers[i] = cl
+		}
+	}
+	return &c
+}

@@ -1,0 +1,355 @@
+package profsession
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"proof/internal/core"
+	"proof/internal/graph"
+	"proof/internal/hardware"
+	"proof/internal/models"
+)
+
+var baseOpts = core.Options{Model: "mobilenetv2-0.5", Platform: "a100", Batch: 8, Seed: 1}
+
+func TestCacheHitDeepEqual(t *testing.T) {
+	s := New(0)
+	r1, err := s.Profile(baseOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Profile(baseOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("cache returned the same pointer; want a deep copy")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("cached report is not deep-equal to the original")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+	// Mutating a returned report must not corrupt the cache.
+	r2.Layers[0].Name = "corrupted"
+	r2.Layers[0].OriginalNodes = append(r2.Layers[0].OriginalNodes, "junk")
+	r3, err := s.Profile(baseOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r3) {
+		t.Fatal("mutating a cache-hit result leaked into the cache")
+	}
+}
+
+func TestCacheMissOnDifferingOptions(t *testing.T) {
+	s := New(0)
+	if _, err := s.Profile(baseOpts); err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]core.Options{}
+	o := baseOpts
+	o.Seed = 2
+	variants["seed"] = o
+	o = baseOpts
+	o.Clocks = hardware.Clocks{GPUMHz: 765}
+	variants["clocks"] = o
+	o = baseOpts
+	o.Batch = 16
+	variants["batch"] = o
+	o = baseOpts
+	o.Mode = core.ModeMeasured
+	variants["mode"] = o
+	o = baseOpts
+	o.DType = graph.Float16
+	variants["dtype"] = o
+	o = baseOpts
+	o.MeasuredRoofline = true
+	variants["measured-roofline"] = o
+
+	misses := s.Stats().Misses
+	for name, v := range variants {
+		if _, err := s.Profile(v); err != nil {
+			t.Fatalf("%s variant: %v", name, err)
+		}
+		st := s.Stats()
+		if st.Misses != misses+1 {
+			t.Fatalf("%s variant did not miss (misses %d -> %d)", name, misses, st.Misses)
+		}
+		misses = st.Misses
+	}
+	if hits := s.Stats().Hits; hits != 0 {
+		t.Fatalf("unexpected hits %d while probing distinct variants", hits)
+	}
+}
+
+// TestCacheGraphContent checks graph-supplied requests are keyed by
+// graph content: same content hits even across distinct pointers,
+// different content misses, and the caller's graph is never mutated.
+func TestCacheGraphContent(t *testing.T) {
+	build := func() *graph.Graph {
+		g, err := models.Build("shufflenetv2-0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	s := New(0)
+	g1 := build()
+	before, err := GraphHash(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Graph: g1, Platform: "a100", Batch: 4, DType: graph.Float32}
+	if _, err := s.Profile(opts); err != nil {
+		t.Fatal(err)
+	}
+	after, err := GraphHash(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatal("session mutated the caller's graph")
+	}
+	// Same content, different pointer: hit.
+	opts2 := opts
+	opts2.Graph = build()
+	if _, err := s.Profile(opts2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit for content-identical graph", st)
+	}
+	// Different content: miss.
+	g3 := build()
+	g3.Name = "renamed"
+	opts3 := opts
+	opts3.Graph = g3
+	if _, err := s.Profile(opts3); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses after content change", st)
+	}
+}
+
+func TestFingerprintNormalization(t *testing.T) {
+	a, err := Fingerprint(baseOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "" and ModePredicted are the same pipeline.
+	o := baseOpts
+	o.Mode = core.ModePredicted
+	b, err := Fingerprint(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("empty mode and ModePredicted should fingerprint identically")
+	}
+	o.Mode = core.ModeMeasured
+	c, err := Fingerprint(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("distinct modes must fingerprint differently")
+	}
+}
+
+// TestSingleflightDedup floods one configuration from many goroutines
+// through a gated profiler and checks exactly one execution happened.
+func TestSingleflightDedup(t *testing.T) {
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	s := NewWithProfiler(0, func(ctx context.Context, opts core.Options) (*core.Report, error) {
+		execs.Add(1)
+		<-gate
+		return core.ProfileCtx(ctx, opts)
+	})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	reports := make([]*core.Report, waiters)
+	started := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			reports[i], errs[i] = s.Profile(baseOpts)
+		}(i)
+	}
+	for i := 0; i < waiters; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("pipeline executed %d times for %d concurrent identical requests", n, waiters)
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			t.Fatalf("waiter %d received a different report", i)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits+st.Dedups != waiters-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d shared results", st, waiters-1)
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context is cancelled abandons
+// the shared execution without affecting the leader.
+func TestWaiterCancellation(t *testing.T) {
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	s := NewWithProfiler(0, func(ctx context.Context, opts core.Options) (*core.Report, error) {
+		close(leaderIn)
+		<-gate
+		return core.ProfileCtx(ctx, opts)
+	})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.Profile(baseOpts)
+		leaderDone <- err
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := s.ProfileCtx(ctx, baseOpts)
+		waiterDone <- err
+	}()
+	// Let the waiter attach, then cancel it.
+	for s.Stats().Dedups == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	var execs atomic.Int64
+	sentinel := errors.New("transient")
+	s := NewWithProfiler(0, func(ctx context.Context, opts core.Options) (*core.Report, error) {
+		if execs.Add(1) == 1 {
+			return nil, sentinel
+		}
+		return core.ProfileCtx(ctx, opts)
+	})
+	if _, err := s.Profile(baseOpts); !errors.Is(err, sentinel) {
+		t.Fatalf("first call err = %v, want sentinel", err)
+	}
+	if _, err := s.Profile(baseOpts); err != nil {
+		t.Fatalf("second call err = %v, want retried success", err)
+	}
+	if n := execs.Load(); n != 2 {
+		t.Fatalf("executions = %d, want 2 (errors must not be cached)", n)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(2)
+	seeds := []uint64{1, 2, 3}
+	for _, seed := range seeds {
+		o := baseOpts
+		o.Seed = seed
+		if _, err := s.Profile(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Size != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want size 2 / 1 eviction", st)
+	}
+	// Seed 1 was evicted (least recently used): re-requesting it must
+	// miss; seed 3 must hit.
+	o := baseOpts
+	o.Seed = 3
+	if _, err := s.Profile(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.Hits != st.Hits+1 {
+		t.Fatalf("recent entry missed: %+v", got)
+	}
+	o.Seed = 1
+	if _, err := s.Profile(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.Misses != st.Misses+1 {
+		t.Fatalf("evicted entry unexpectedly hit: %+v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(0)
+	if _, err := s.Profile(baseOpts); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	st := s.Stats()
+	if st.Size != 0 {
+		t.Fatalf("size after reset = %d", st.Size)
+	}
+	if _, err := s.Profile(baseOpts); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.Misses != 2 {
+		t.Fatalf("stats after reset = %+v, want second miss", got)
+	}
+}
+
+// TestConcurrentMixedWorkload hammers the session from many goroutines
+// over a small option space — meant for the race detector.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	s := New(4) // small capacity: force eviction churn too
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				o := baseOpts
+				o.Seed = uint64(j % 3)
+				o.Batch = 4 << (uint(i) % 2)
+				r, err := s.ProfileCtx(context.Background(), o)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Touch the result to give the race detector a chance
+				// to catch shared mutable state.
+				r.Layers[0].Name = "scratch"
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Hits+st.Dedups+st.Misses != 48 {
+		t.Fatalf("stats = %+v, want 48 requests accounted", st)
+	}
+	if st.Inflight != 0 {
+		t.Fatalf("inflight gauge leaked: %+v", st)
+	}
+}

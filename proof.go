@@ -26,6 +26,7 @@
 package proof
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -40,6 +41,7 @@ import (
 	"proof/internal/models"
 	"proof/internal/onnx"
 	"proof/internal/power"
+	"proof/internal/profsession"
 	"proof/internal/roofline"
 )
 
@@ -92,6 +94,31 @@ type RooflinePoint = roofline.Point
 // Profile runs the full PRoof pipeline: build → optimize on the backend
 // → profile → layer mapping → metrics → roofline analysis.
 func Profile(opts Options) (*Report, error) { return core.Profile(opts) }
+
+// ProfileCtx is Profile with cancellation: ctx is checked between
+// pipeline stages, so an abandoned request (Ctrl-C, timed-out service
+// call) stops doing work at the next stage boundary.
+func ProfileCtx(ctx context.Context, opts Options) (*Report, error) {
+	return core.ProfileCtx(ctx, opts)
+}
+
+// Session is a cached, deduplicated profiling front-end: repeated
+// Profile calls with an identical configuration are served from a
+// content-addressed LRU report cache, and concurrent identical requests
+// share one pipeline execution. See NewSession.
+type Session = profsession.Session
+
+// SessionStats is a snapshot of a Session's hit/miss/eviction/in-flight
+// counters.
+type SessionStats = profsession.Stats
+
+// NewSession creates a profiling session with the given report-cache
+// capacity (<= 0 selects the default of 256 reports).
+func NewSession(capacity int) *Session { return profsession.New(capacity) }
+
+// FingerprintOptions returns the canonical content-addressed cache key
+// of a profiling configuration — the identity a Session caches under.
+func FingerprintOptions(opts Options) (string, error) { return profsession.Fingerprint(opts) }
 
 // Models lists the model zoo (all Table 3 models plus the peak test).
 func Models() []ModelInfo { return models.List() }
@@ -177,6 +204,16 @@ func PlatformSweep(model string, mode Mode) ([]PlatformResult, error) {
 	return core.PlatformSweep(model, mode)
 }
 
+// PlatformSweepCtx is PlatformSweep with cancellation; when sess is
+// non-nil the per-platform profiling points are served through its
+// cache, so repeated sweeps over overlapping configurations are cheap.
+func PlatformSweepCtx(ctx context.Context, model string, mode Mode, sess *Session) ([]PlatformResult, error) {
+	if sess != nil {
+		return core.PlatformSweepWith(ctx, model, mode, sess.ProfileCtx)
+	}
+	return core.PlatformSweepCtx(ctx, model, mode)
+}
+
 // RunStats aggregates repeated profiling runs.
 type RunStats = core.RunStats
 
@@ -184,11 +221,30 @@ type RunStats = core.RunStats
 // different jitter seeds and reports latency statistics (best-of-N).
 func ProfileRuns(opts Options, runs int) (*RunStats, error) { return core.ProfileRuns(opts, runs) }
 
+// ProfileRunsCtx is ProfileRuns with cancellation; when sess is
+// non-nil the per-seed runs are served through its cache, so a repeated
+// best-of-N over the same base configuration is fully cache-served.
+func ProfileRunsCtx(ctx context.Context, opts Options, runs int, sess *Session) (*RunStats, error) {
+	if sess != nil {
+		return core.ProfileRunsWith(ctx, opts, runs, sess.ProfileCtx)
+	}
+	return core.ProfileRunsCtx(ctx, opts, runs)
+}
+
 // OptimalBatch sweeps batch sizes and returns the throughput-optimal
 // one (how the paper picks the Table 5 batch sizes). nil candidates =
 // powers of two up to 2048.
 func OptimalBatch(opts Options, candidates []int) (int, []BatchPoint, error) {
 	return core.OptimalBatch(opts, candidates)
+}
+
+// OptimalBatchCtx is OptimalBatch with cancellation; when sess is
+// non-nil the batch points are served through its cache.
+func OptimalBatchCtx(ctx context.Context, opts Options, candidates []int, sess *Session) (int, []BatchPoint, error) {
+	if sess != nil {
+		return core.OptimalBatchWith(ctx, opts, candidates, sess.ProfileCtx)
+	}
+	return core.OptimalBatchCtx(ctx, opts, candidates)
 }
 
 // DistributedOptions configures a data-parallel profiling run (§5
