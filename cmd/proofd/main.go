@@ -1,0 +1,76 @@
+// Command proofd is the PRoof profiling service: a long-running HTTP
+// server exposing the profiling pipeline as a JSON API, with a shared
+// report cache, admission control, per-request timeouts and graceful
+// SIGTERM shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/profile    profile one configuration (cached session)
+//	POST /v1/sweep      profile a model across every platform
+//	GET  /v1/models     list the model zoo
+//	GET  /v1/platforms  list the hardware platforms
+//	GET  /healthz       liveness/readiness (503 while draining)
+//	GET  /metrics       Prometheus text exposition
+//
+// Example:
+//
+//	proofd -addr :8080 &
+//	curl -s localhost:8080/v1/profile -d '{"model":"resnet-50","platform":"a100","batch":128}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"proof/internal/profsession"
+	"proof/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently executing profiling requests (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "max profiling requests waiting for a slot (0 = 4x max-inflight)")
+		queueWait    = flag.Duration("queue-wait", 2*time.Second, "longest a request waits for a slot before 429")
+		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-request profiling budget")
+		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body size cap")
+		drainTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+		cacheCap     = flag.Int("cache-capacity", 0, "session report-cache capacity (0 = default 256)")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "proofd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := server.New(server.Config{
+		Session:         profsession.New(*cacheCap),
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		QueueWait:       *queueWait,
+		RequestTimeout:  *reqTimeout,
+		MaxBodyBytes:    *maxBody,
+		ShutdownTimeout: *drainTimeout,
+		Logger:          logger,
+	})
+
+	// SIGTERM (orchestrator stop) and SIGINT (Ctrl-C) both trigger the
+	// graceful drain; a second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		logger.Error("proofd exited", "err", err.Error())
+		os.Exit(1)
+	}
+}

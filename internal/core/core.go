@@ -40,6 +40,19 @@ const (
 	ModeMeasured Mode = "measured"
 )
 
+// ParseMode validates a metrics-mode name as it arrives from a flag or
+// an API request body. The empty string selects ModePredicted, matching
+// Options.Mode's zero-value behavior.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModePredicted:
+		return ModePredicted, nil
+	case ModeMeasured:
+		return ModeMeasured, nil
+	}
+	return "", fmt.Errorf("core: unknown mode %q (have %q, %q)", s, ModePredicted, ModeMeasured)
+}
+
 // Options configures one profiling run.
 type Options struct {
 	// Model is the zoo key ("resnet-50", ...). Ignored when Graph is

@@ -251,3 +251,20 @@ func clocksFor(t *testing.T, gpu, emc int) (c hardware.Clocks) {
 	c.GPUMHz, c.EMCMHz, c.CPUClusters = gpu, emc, 1
 	return c
 }
+
+// TestParseMode covers the wire-facing mode validation.
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"": ModePredicted, "predicted": ModePredicted, "measured": ModeMeasured,
+	} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"Predicted", "MEASURED", "psychic", "predicted "} {
+		if _, err := ParseMode(bad); err == nil {
+			t.Errorf("ParseMode(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -65,17 +66,103 @@ func TestScalingCurve(t *testing.T) {
 	}
 }
 
-func TestDistributedErrors(t *testing.T) {
-	if _, err := Profile(Options{Model: "resnet-50", Platform: "a100", Devices: 0, GlobalBatch: 8}); err == nil {
-		t.Error("zero devices must error")
+// TestDistributedEdgeCases locks the Options validation surface: every
+// rejected shape names what is wrong, every accepted shape profiles.
+func TestDistributedEdgeCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    Options
+		wantErr string // substring of the error ("" = success)
+	}{
+		{"zero devices",
+			Options{Model: "resnet-50", Platform: "a100", Devices: 0, GlobalBatch: 8},
+			"at least 1 device"},
+		{"negative devices",
+			Options{Model: "resnet-50", Platform: "a100", Devices: -2, GlobalBatch: 8},
+			"at least 1 device"},
+		{"batch smaller than devices",
+			Options{Model: "resnet-50", Platform: "a100", Devices: 16, GlobalBatch: 8},
+			"smaller than device count"},
+		{"uneven split 8/3",
+			Options{Model: "resnet-50", Platform: "a100", Devices: 3, GlobalBatch: 8},
+			"not divisible"},
+		{"uneven split 100/7",
+			Options{Model: "resnet-50", Platform: "a100", Devices: 7, GlobalBatch: 100},
+			"not divisible"},
+		{"unknown model",
+			Options{Model: "nope", Platform: "a100", Devices: 1, GlobalBatch: 8},
+			"unknown model"},
+		{"unknown platform",
+			Options{Model: "resnet-50", Platform: "nope", Devices: 1, GlobalBatch: 8},
+			"unknown platform"},
+		{"single device, batch == devices",
+			Options{Model: "resnet-50", Platform: "a100", Devices: 4, GlobalBatch: 4},
+			""},
+		{"explicit host link",
+			Options{Model: "resnet-50", Platform: "a100", Devices: 2, GlobalBatch: 8, HostLinkBW: 64e9},
+			""},
 	}
-	if _, err := Profile(Options{Model: "resnet-50", Platform: "a100", Devices: 3, GlobalBatch: 8}); err == nil {
-		t.Error("indivisible batch must error")
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r, err := Profile(tt.opts)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Profile: %v", err)
+				}
+				if r.PerDeviceBatch*r.Devices != tt.opts.GlobalBatch {
+					t.Errorf("per-device %d x %d devices != global %d",
+						r.PerDeviceBatch, r.Devices, tt.opts.GlobalBatch)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Profile succeeded, want error containing %q", tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tt.wantErr)
+			}
+		})
 	}
-	if _, err := Profile(Options{Model: "resnet-50", Platform: "a100", Devices: 16, GlobalBatch: 8}); err == nil {
-		t.Error("batch smaller than devices must error")
+}
+
+// TestHostLinkBWOverride pins the transfer model: the same workload
+// over a k-times-faster host link spends exactly k times less time in
+// transfers, and the default (0) means PCIe 4.0 x16.
+func TestHostLinkBWOverride(t *testing.T) {
+	base := Options{Model: "resnet-50", Platform: "a100", Devices: 4, GlobalBatch: 128}
+	slow, err := Profile(base)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Profile(Options{Model: "nope", Platform: "a100", Devices: 1, GlobalBatch: 8}); err == nil {
-		t.Error("unknown model must error")
+	fast4x := base
+	fast4x.HostLinkBW = 4 * defaultHostLinkBW
+	fast, err := Profile(fast4x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.TransferTime <= 0 || slow.TransferTime <= 0 {
+		t.Fatal("transfer times must be positive")
+	}
+	ratio := float64(slow.TransferTime) / float64(fast.TransferTime)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("4x link speedup gave %.2fx transfer-time ratio", ratio)
+	}
+	if fast.Throughput <= slow.Throughput {
+		t.Error("faster host link must not lower throughput")
+	}
+	// Device-side compute is untouched by the link override.
+	if fast.DeviceReport.TotalLatency != slow.DeviceReport.TotalLatency {
+		t.Error("host link override leaked into device compute latency")
+	}
+
+	explicitDefault := base
+	explicitDefault.HostLinkBW = defaultHostLinkBW
+	dflt, err := Profile(explicitDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dflt.TransferTime != slow.TransferTime {
+		t.Errorf("HostLinkBW 0 (%v) and explicit default (%v) disagree",
+			slow.TransferTime, dflt.TransferTime)
 	}
 }

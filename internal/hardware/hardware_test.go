@@ -161,3 +161,31 @@ func TestSupports(t *testing.T) {
 		t.Error("A100 supports everything")
 	}
 }
+
+// TestDescribe checks the JSON-friendly platform summary against the
+// underlying Platform for every registered platform.
+func TestDescribe(t *testing.T) {
+	for _, p := range List() {
+		info := p.Describe()
+		if info.Key != p.Key || info.Name != p.Name || info.Runtime != p.Runtime {
+			t.Errorf("%s: identity fields mismatch: %+v", p.Key, info)
+		}
+		if info.PeakFLOPS != p.PeakAt(p.DefaultDType, 0) {
+			t.Errorf("%s: PeakFLOPS = %g, want peak at default dtype", p.Key, info.PeakFLOPS)
+		}
+		if info.DefaultDType != p.DefaultDType.String() || info.DefaultBatch != p.DefaultBatch {
+			t.Errorf("%s: default config mismatch: %+v", p.Key, info)
+		}
+		if info.HasDVFS != (p.Clocks != nil) || info.HasPower != (p.Power != nil) {
+			t.Errorf("%s: capability flags mismatch: %+v", p.Key, info)
+		}
+		if (len(info.SupportedTypes) == 0) != (p.SupportedTypes == nil) {
+			t.Errorf("%s: SupportedTypes = %v vs %v", p.Key, info.SupportedTypes, p.SupportedTypes)
+		}
+		for _, typ := range info.SupportedTypes {
+			if !p.Supports(typ) {
+				t.Errorf("%s: Describe lists unsupported family %q", p.Key, typ)
+			}
+		}
+	}
+}

@@ -220,6 +220,54 @@ func (p *Platform) EstimatePower(clk Clocks, utilGPU, utilMem float64) (float64,
 	return w, nil
 }
 
+// Info is the JSON-friendly listing form of a Platform: Platform itself
+// does not serialize cleanly (DataType-keyed maps, durations, nested
+// model structs), so API surfaces that enumerate platforms expose this
+// summary instead.
+type Info struct {
+	Key      string `json:"key"`
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	Arch     string `json:"arch"`
+	Runtime  string `json:"runtime"`
+	// DefaultDType and DefaultBatch are the paper's evaluation config.
+	DefaultDType string `json:"default_dtype"`
+	DefaultBatch int    `json:"default_batch"`
+	// PeakFLOPS is the peak at the default data type; MemBW in B/s.
+	PeakFLOPS float64 `json:"peak_flops"`
+	MemBW     float64 `json:"mem_bw"`
+	// HasDVFS / HasPower report tunable clocks and a power model.
+	HasDVFS  bool `json:"has_dvfs"`
+	HasPower bool `json:"has_power"`
+	// SupportedTypes lists the restricted model families, sorted;
+	// empty means all families run.
+	SupportedTypes []string `json:"supported_types,omitempty"`
+}
+
+// Describe returns the platform's JSON-friendly summary.
+func (p *Platform) Describe() Info {
+	info := Info{
+		Key:          p.Key,
+		Name:         p.Name,
+		Scenario:     p.Scenario,
+		Arch:         p.Arch,
+		Runtime:      p.Runtime,
+		DefaultDType: p.DefaultDType.String(),
+		DefaultBatch: p.DefaultBatch,
+		PeakFLOPS:    p.PeakAt(p.DefaultDType, 0),
+		MemBW:        p.MemBW,
+		HasDVFS:      p.Clocks != nil,
+		HasPower:     p.Power != nil,
+	}
+	for t, ok := range p.SupportedTypes {
+		if ok {
+			info.SupportedTypes = append(info.SupportedTypes, t)
+		}
+	}
+	sort.Strings(info.SupportedTypes)
+	return info
+}
+
 // Supports reports whether the platform runs models of the given family
 // type ("CNN", "Trans.", ...).
 func (p *Platform) Supports(modelType string) bool {

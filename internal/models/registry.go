@@ -8,24 +8,25 @@ import (
 )
 
 // Info describes one zoo model, including the paper's published Table 3
-// reference values for comparison in EXPERIMENTS.md.
+// reference values for comparison in EXPERIMENTS.md. Info serializes as
+// JSON for API listings (the Build closure is excluded).
 type Info struct {
 	// ID is the model's serial number in Table 3 (0 for extra models).
-	ID int
+	ID int `json:"id,omitempty"`
 	// Key is the canonical lookup key (e.g. "resnet-50").
-	Key string
+	Key string `json:"key"`
 	// Name is the display name used in the paper.
-	Name string
+	Name string `json:"name"`
 	// Type is the model family: CNN, Trans., MLP or Diffu.
-	Type string
+	Type string `json:"type"`
 	// Build constructs the model graph at batch size 1.
-	Build func() (*graph.Graph, error)
+	Build func() (*graph.Graph, error) `json:"-"`
 	// PaperNodes, PaperParamsM and PaperGFLOP are the reference values
 	// from Table 3 (ONNX node count, params in millions, GFLOP at
 	// batch 1).
-	PaperNodes   int
-	PaperParamsM float64
-	PaperGFLOP   float64
+	PaperNodes   int     `json:"paper_nodes,omitempty"`
+	PaperParamsM float64 `json:"paper_params_m,omitempty"`
+	PaperGFLOP   float64 `json:"paper_gflop,omitempty"`
 }
 
 var registry = map[string]Info{}

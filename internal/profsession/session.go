@@ -41,6 +41,21 @@ type Stats struct {
 	Capacity int `json:"capacity"`
 }
 
+// Outcome classifies how a request was served — the per-request
+// counterpart of the aggregate Stats counters, so a serving layer can
+// annotate each response (e.g. an X-Cache header) without diffing
+// counter snapshots.
+type Outcome string
+
+const (
+	// OutcomeHit: served from the report cache.
+	OutcomeHit Outcome = "hit"
+	// OutcomeMiss: this request executed the pipeline.
+	OutcomeMiss Outcome = "miss"
+	// OutcomeDedup: attached to an identical in-flight execution.
+	OutcomeDedup Outcome = "dedup"
+)
+
 // call is one in-flight pipeline execution that duplicate requests wait
 // on.
 type call struct {
@@ -110,9 +125,19 @@ func (s *Session) Profile(opts core.Options) (*core.Report, error) {
 // rebatches and dtype-converts the graph in place, which would both
 // surprise the caller and invalidate the content fingerprint.
 func (s *Session) ProfileCtx(ctx context.Context, opts core.Options) (*core.Report, error) {
+	rep, _, err := s.ProfileOutcome(ctx, opts)
+	return rep, err
+}
+
+// ProfileOutcome is ProfileCtx reporting additionally how the request
+// was served: from cache (OutcomeHit), by executing the pipeline
+// (OutcomeMiss), or by sharing an identical in-flight execution
+// (OutcomeDedup). On error the outcome still describes the path taken
+// (a failed execution reports OutcomeMiss).
+func (s *Session) ProfileOutcome(ctx context.Context, opts core.Options) (*core.Report, Outcome, error) {
 	key, err := Fingerprint(opts)
 	if err != nil {
-		return nil, err
+		return nil, OutcomeMiss, err
 	}
 
 	s.mu.Lock()
@@ -121,7 +146,7 @@ func (s *Session) ProfileCtx(ctx context.Context, opts core.Options) (*core.Repo
 		rep := el.Value.(*entry).rep
 		s.mu.Unlock()
 		s.hits.Add(1)
-		return cloneReport(rep), nil
+		return cloneReport(rep), OutcomeHit, nil
 	}
 	if c, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
@@ -131,16 +156,16 @@ func (s *Session) ProfileCtx(ctx context.Context, opts core.Options) (*core.Repo
 		case <-ctx.Done():
 			// This waiter gives up; the shared execution keeps
 			// running for the others.
-			return nil, ctx.Err()
+			return nil, OutcomeDedup, ctx.Err()
 		}
 		if c.err != nil {
 			// The leader failed (possibly because *its* context was
 			// cancelled). Errors are not cached, so report the
 			// leader's error rather than retrying: retry policy
 			// belongs to the caller.
-			return nil, c.err
+			return nil, OutcomeDedup, c.err
 		}
-		return cloneReport(c.rep), nil
+		return cloneReport(c.rep), OutcomeDedup, nil
 	}
 	c := &call{done: make(chan struct{})}
 	s.inflight[key] = c
@@ -165,9 +190,9 @@ func (s *Session) ProfileCtx(ctx context.Context, opts core.Options) (*core.Repo
 	close(c.done)
 
 	if err != nil {
-		return nil, err
+		return nil, OutcomeMiss, err
 	}
-	return cloneReport(rep), nil
+	return cloneReport(rep), OutcomeMiss, nil
 }
 
 // insertLocked stores a report under key and applies the LRU bound.

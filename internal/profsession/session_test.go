@@ -353,3 +353,53 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 		t.Fatalf("inflight gauge leaked: %+v", st)
 	}
 }
+
+// TestProfileOutcome pins the per-request outcome classification: a
+// cold request is a miss, a repeat a hit, and a concurrent identical
+// request a dedup.
+func TestProfileOutcome(t *testing.T) {
+	block := make(chan struct{})
+	var sess *Session
+	sess = NewWithProfiler(0, func(ctx context.Context, opts core.Options) (*core.Report, error) {
+		if opts.Seed == 99 { // the slow config the dedup subtest uses
+			<-block
+		}
+		return &core.Report{Model: opts.Model}, nil
+	})
+
+	_, out, err := sess.ProfileOutcome(context.Background(), baseOpts)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("cold request = (%v, %v), want miss", out, err)
+	}
+	_, out, err = sess.ProfileOutcome(context.Background(), baseOpts)
+	if err != nil || out != OutcomeHit {
+		t.Fatalf("repeat request = (%v, %v), want hit", out, err)
+	}
+
+	slow := baseOpts
+	slow.Seed = 99
+	leaderOut := make(chan Outcome, 1)
+	go func() {
+		_, out, _ := sess.ProfileOutcome(context.Background(), slow)
+		leaderOut <- out
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for sess.Stats().Inflight == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	followerOut := make(chan Outcome, 1)
+	go func() {
+		_, out, _ := sess.ProfileOutcome(context.Background(), slow)
+		followerOut <- out
+	}()
+	for sess.Stats().Dedups == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	if out := <-leaderOut; out != OutcomeMiss {
+		t.Errorf("leader outcome = %v, want miss", out)
+	}
+	if out := <-followerOut; out != OutcomeDedup {
+		t.Errorf("follower outcome = %v, want dedup", out)
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the wire-format fixtures:
+//
+//	go test ./internal/server -run TestGoldenAPI -update
+var update = flag.Bool("update", false, "rewrite golden API body fixtures")
+
+// goldenEndpoints pins the exact response bytes of the read-only
+// listings and one deterministic profile (the same configuration
+// internal/core's golden fixtures use), so the wire format cannot
+// drift without showing up as a fixture diff in review.
+var goldenEndpoints = []struct {
+	name   string
+	method string
+	path   string
+	body   string
+}{
+	{"models", "GET", "/v1/models", ""},
+	{"platforms", "GET", "/v1/platforms", ""},
+	{"profile_mobilenetv2-0.5_a100_s1", "POST", "/v1/profile",
+		`{"model":"mobilenetv2-0.5","platform":"a100","batch":8,"seed":1}`},
+}
+
+func TestGoldenAPI(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, cfg := range goldenEndpoints {
+		t.Run(cfg.name, func(t *testing.T) {
+			req, err := http.NewRequest(cfg.method, ts.URL+cfg.path, strings.NewReader(cfg.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("status = %d", resp.StatusCode)
+			}
+			got, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", cfg.name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("API body drifted from %s\nIf the change is intentional, regenerate with:\n  go test ./internal/server -run TestGoldenAPI -update", path)
+			}
+		})
+	}
+}

@@ -1,0 +1,598 @@
+// Package server implements proofd, the long-running HTTP profiling
+// service: the PRoof pipeline exposed as a JSON API. All profiling is
+// served through one shared cached session (internal/profsession), so
+// the hot path of a busy service — many clients asking about the same
+// model/platform points — is a deep-copied cache hit rather than a
+// pipeline execution.
+//
+// Serving robustness, in the order a request meets it:
+//
+//   - request ID + structured JSON log line per request
+//   - body size cap (413 beyond MaxBodyBytes)
+//   - admission control for profiling endpoints: at most MaxInflight
+//     executing plus MaxQueue waiting; excess gets 429 + Retry-After
+//   - per-request timeout threaded into core.ProfileCtx, sharing the
+//     request context so a client disconnect cancels pipeline work
+//   - graceful drain: Serve stops accepting, fails fast on new work
+//     (503), finishes in-flight requests, bounded by ShutdownTimeout
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"proof/internal/backend"
+	"proof/internal/core"
+	"proof/internal/graph"
+	"proof/internal/hardware"
+	"proof/internal/models"
+	"proof/internal/profsession"
+)
+
+// Config tunes the service. The zero value is usable: every field has a
+// serving-sane default.
+type Config struct {
+	// Session is the shared profiling session (nil = new session with
+	// the default cache capacity).
+	Session *profsession.Session
+	// MaxInflight bounds concurrently executing profile/sweep requests
+	// (0 = GOMAXPROCS).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot
+	// (0 = 4x MaxInflight).
+	MaxQueue int
+	// QueueWait is the longest a request waits in the queue before
+	// 429 (0 = 2s).
+	QueueWait time.Duration
+	// RequestTimeout caps one profiling request end to end (0 = 60s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+	// ShutdownTimeout bounds the graceful drain (0 = 15s).
+	ShutdownTimeout time.Duration
+	// Logger receives one structured line per request (nil = JSON to
+	// stderr).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Session == nil {
+		c.Session = profsession.New(0)
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 15 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return c
+}
+
+// Server is the proofd HTTP service. Construct with New; safe for
+// concurrent use.
+type Server struct {
+	cfg      Config
+	sess     *profsession.Session
+	adm      *admission
+	metrics  *metrics
+	log      *slog.Logger
+	mux      *http.ServeMux
+	draining atomic.Bool
+	idPrefix string
+	idNext   atomic.Uint64
+}
+
+// New constructs a server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	s := &Server{
+		cfg:      cfg,
+		sess:     cfg.Session,
+		adm:      newAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
+		metrics:  newMetrics(),
+		log:      cfg.Logger,
+		idPrefix: hex.EncodeToString(b[:]),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/profile", s.handleProfile)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/platforms", s.handlePlatforms)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, r, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint %q", r.URL.Path))
+	})
+	return s
+}
+
+// Session returns the shared profiling session (for stats inspection).
+func (s *Server) Session() *profsession.Session { return s.sess }
+
+// Handler returns the full middleware-wrapped handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("%s-%06d", s.idPrefix, s.idNext.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		rw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(withRequestID(r.Context(), id))
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		s.mux.ServeHTTP(rw, r)
+
+		code := rw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		d := time.Since(start)
+		s.metrics.observe(metricPath(r.URL.Path), code, d)
+		attrs := []any{
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", code,
+			"duration_ms", float64(d.Microseconds()) / 1000,
+			"remote", r.RemoteAddr,
+		}
+		if cache := rw.Header().Get("X-Cache"); cache != "" {
+			attrs = append(attrs, "cache", cache)
+		}
+		s.log.Info("request", attrs...)
+	})
+}
+
+// metricPath collapses unknown paths into one label value so a URL
+// scanner cannot explode the metrics cardinality.
+func metricPath(p string) string {
+	switch p {
+	case "/v1/profile", "/v1/sweep", "/v1/models", "/v1/platforms", "/healthz", "/metrics":
+		return p
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ---- error envelope ----
+
+// APIError is the error payload of every non-2xx response.
+type APIError struct {
+	// Code is a stable machine-readable identifier.
+	Code string `json:"code"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON body of every non-2xx response.
+type ErrorEnvelope struct {
+	Error     APIError `json:"error"`
+	RequestID string   `json:"request_id,omitempty"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	s.writeJSON(w, status, ErrorEnvelope{
+		Error:     APIError{Code: code, Message: msg},
+		RequestID: requestID(r.Context()),
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"encoding failed"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// requireMethod writes the 405 envelope (with Allow) on mismatch.
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed",
+		fmt.Sprintf("%s requires %s, got %s", r.URL.Path, method, r.Method))
+	return false
+}
+
+// decodeBody strictly decodes a JSON request body into v, translating
+// the failure modes into envelope responses (true = decoded).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, r, http.StatusRequestEntityTooLarge, "payload_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return false
+	}
+	// Trailing garbage after the JSON value is also malformed.
+	if dec.More() {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "unexpected data after JSON body")
+		return false
+	}
+	return true
+}
+
+// admit runs the admission controller for a profiling endpoint,
+// answering 429/503 itself when the request cannot proceed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		s.writeError(w, r, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		return false
+	}
+	if err := s.adm.acquire(r.Context()); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueTimeout):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.adm.retryAfter().Seconds())))
+			s.writeError(w, r, http.StatusTooManyRequests, "too_many_requests", err.Error())
+		default:
+			// Client went away while queued; nothing useful to write.
+			s.writeError(w, r, statusClientClosedRequest, "canceled", "client closed request while queued")
+		}
+		return false
+	}
+	return true
+}
+
+// statusClientClosedRequest is nginx's convention for "client
+// disconnected before the response"; it only ever reaches logs and
+// metrics, never a live client.
+const statusClientClosedRequest = 499
+
+// ---- endpoints ----
+
+// ProfileRequest is the POST /v1/profile body. Fields mirror
+// core.Options with wire-friendly types.
+type ProfileRequest struct {
+	Model            string  `json:"model"`
+	Platform         string  `json:"platform"`
+	Backend          string  `json:"backend,omitempty"`
+	Batch            int     `json:"batch,omitempty"`
+	DType            string  `json:"dtype,omitempty"`
+	Mode             string  `json:"mode,omitempty"`
+	Seed             uint64  `json:"seed,omitempty"`
+	GPUClockMHz      int     `json:"gpu_clock_mhz,omitempty"`
+	EMCClockMHz      int     `json:"emc_clock_mhz,omitempty"`
+	GPUCapacity      float64 `json:"gpu_capacity,omitempty"`
+	CPUClusters      int     `json:"cpu_clusters,omitempty"`
+	MeasuredRoofline bool    `json:"measured_roofline,omitempty"`
+	IgnoreSupport    bool    `json:"ignore_support,omitempty"`
+}
+
+// validate resolves the request into core.Options, answering the
+// envelope itself on failure (the *Server receiver is for error
+// writing only).
+func (s *Server) validateProfile(w http.ResponseWriter, r *http.Request, req ProfileRequest) (core.Options, bool) {
+	var zero core.Options
+	if req.Model == "" {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "model is required")
+		return zero, false
+	}
+	info, ok := models.Lookup(req.Model)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, "unknown_model",
+			fmt.Sprintf("unknown model %q (GET /v1/models lists the zoo)", req.Model))
+		return zero, false
+	}
+	if req.Platform == "" {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "platform is required")
+		return zero, false
+	}
+	plat, ok := hardware.Lookup(req.Platform)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, "unknown_platform",
+			fmt.Sprintf("unknown platform %q (GET /v1/platforms lists them)", req.Platform))
+		return zero, false
+	}
+	if req.Backend != "" {
+		if _, err := backend.Get(req.Backend); err != nil {
+			s.writeError(w, r, http.StatusNotFound, "unknown_backend", err.Error())
+			return zero, false
+		}
+	}
+	if req.Batch < 0 {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "batch must be >= 0")
+		return zero, false
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return zero, false
+	}
+	var dt graph.DataType
+	if req.DType != "" {
+		dt, err = graph.ParseDataType(req.DType)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+			return zero, false
+		}
+	}
+	if !req.IgnoreSupport && !plat.Supports(info.Type) {
+		s.writeError(w, r, http.StatusUnprocessableEntity, "unsupported",
+			fmt.Sprintf("platform %s does not support %s models (set ignore_support to try anyway)", plat.Key, info.Type))
+		return zero, false
+	}
+	clusters := req.CPUClusters
+	if clusters == 0 {
+		clusters = 1
+	}
+	return core.Options{
+		Model:    req.Model,
+		Platform: req.Platform,
+		Backend:  req.Backend,
+		Batch:    req.Batch,
+		DType:    dt,
+		Mode:     mode,
+		Seed:     req.Seed,
+		Clocks: hardware.Clocks{
+			GPUMHz:      req.GPUClockMHz,
+			EMCMHz:      req.EMCClockMHz,
+			GPUCapacity: req.GPUCapacity,
+			CPUClusters: clusters,
+		},
+		MeasuredRoofline: req.MeasuredRoofline,
+		IgnoreSupport:    req.IgnoreSupport,
+	}, true
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ProfileRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	opts, ok := s.validateProfile(w, r, req)
+	if !ok {
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	report, outcome, err := s.sess.ProfileOutcome(ctx, opts)
+	if err != nil {
+		s.writeProfilingError(w, r, err)
+		return
+	}
+	w.Header().Set("X-Cache", string(outcome))
+	s.writeJSON(w, http.StatusOK, report)
+}
+
+// SweepRequest is the POST /v1/sweep body.
+type SweepRequest struct {
+	Model string `json:"model"`
+	Mode  string `json:"mode,omitempty"`
+}
+
+// SweepResponse is the POST /v1/sweep result.
+type SweepResponse struct {
+	Model   string                `json:"model"`
+	Mode    core.Mode             `json:"mode"`
+	Results []core.PlatformResult `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req SweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Model == "" {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "model is required")
+		return
+	}
+	if _, ok := models.Lookup(req.Model); !ok {
+		s.writeError(w, r, http.StatusNotFound, "unknown_model",
+			fmt.Sprintf("unknown model %q (GET /v1/models lists the zoo)", req.Model))
+		return
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	results, err := core.PlatformSweepWith(ctx, req.Model, mode, s.sess.ProfileCtx)
+	if err != nil {
+		s.writeProfilingError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SweepResponse{Model: req.Model, Mode: mode, Results: results})
+}
+
+// writeProfilingError maps a pipeline failure to a response: deadline →
+// 504, client gone → 499 (log-only), anything else → 500.
+func (s *Server) writeProfilingError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, r, http.StatusGatewayTimeout, "timeout",
+			fmt.Sprintf("profiling exceeded the %s request budget", s.cfg.RequestTimeout))
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, r, statusClientClosedRequest, "canceled", "client closed request")
+	default:
+		s.writeError(w, r, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// ModelsResponse is the GET /v1/models body.
+type ModelsResponse struct {
+	Models []models.Info `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ModelsResponse{Models: models.List()})
+}
+
+// PlatformsResponse is the GET /v1/platforms body.
+type PlatformsResponse struct {
+	Platforms []hardware.Info `json:"platforms"`
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := PlatformsResponse{}
+	for _, p := range hardware.List() {
+		resp.Platforms = append(resp.Platforms, p.Describe())
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	st := s.sess.Stats()
+	gauges := []gauge{
+		{"proofd_inflight_profiles", "Profiling requests currently executing.", "gauge", float64(s.adm.inflight.Load())},
+		{"proofd_inflight_high_water", "Maximum concurrently executing profiling requests observed.", "gauge", float64(s.adm.highWater.Load())},
+		{"proofd_queue_depth", "Profiling requests waiting for an execution slot.", "gauge", float64(s.adm.queued.Load())},
+		{"proofd_admission_rejected_total", "Profiling requests shed with 429.", "counter", float64(s.adm.rejected.Load())},
+		{"proofd_session_hits_total", "Session report-cache hits.", "counter", float64(st.Hits)},
+		{"proofd_session_misses_total", "Session report-cache misses (pipeline executions).", "counter", float64(st.Misses)},
+		{"proofd_session_dedups_total", "Requests served by an identical in-flight execution.", "counter", float64(st.Dedups)},
+		{"proofd_session_evictions_total", "Reports evicted from the session cache.", "counter", float64(st.Evictions)},
+		{"proofd_session_cache_size", "Reports currently cached.", "gauge", float64(st.Size)},
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.write(w, gauges)
+}
+
+// ---- lifecycle ----
+
+// ListenAndServe binds addr and serves until ctx is cancelled, then
+// drains gracefully (see Serve).
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.log.Info("proofd listening", "addr", ln.Addr().String())
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes, endpoints start failing fast with
+// 503, and in-flight requests get up to ShutdownTimeout to finish.
+// Returns nil on a clean drain, the shutdown context's error when the
+// deadline forces connections to abort.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.draining.Store(true)
+	s.log.Info("draining", "timeout", s.cfg.ShutdownTimeout.String())
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		s.log.Error("drain deadline exceeded, aborting connections", "err", err.Error())
+		hs.Close()
+		return err
+	}
+	s.log.Info("drained")
+	return nil
+}

@@ -43,6 +43,7 @@ import (
 	"proof/internal/power"
 	"proof/internal/profsession"
 	"proof/internal/roofline"
+	"proof/internal/server"
 )
 
 // Options configures one profiling run. See core.Options.
@@ -119,6 +120,24 @@ func NewSession(capacity int) *Session { return profsession.New(capacity) }
 // FingerprintOptions returns the canonical content-addressed cache key
 // of a profiling configuration — the identity a Session caches under.
 func FingerprintOptions(opts Options) (string, error) { return profsession.Fingerprint(opts) }
+
+// CacheOutcome reports how a Session served one request: "hit", "miss"
+// or "dedup".
+type CacheOutcome = profsession.Outcome
+
+// Server is the proofd HTTP profiling service (JSON API over a shared
+// Session, admission control, request timeouts, graceful drain). See
+// cmd/proofd and NewServer.
+type Server = server.Server
+
+// ServerConfig tunes a Server; the zero value selects serving-sane
+// defaults.
+type ServerConfig = server.Config
+
+// NewServer constructs the proofd HTTP service. Serve it with
+// (*Server).ListenAndServe(ctx, addr); cancelling ctx starts a graceful
+// drain.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // Models lists the model zoo (all Table 3 models plus the peak test).
 func Models() []ModelInfo { return models.List() }
