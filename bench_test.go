@@ -7,6 +7,7 @@ package proof_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"proof"
@@ -207,12 +208,12 @@ func BenchmarkAblationFusionMemory(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 16})
+		eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 16})
 		if err != nil {
 			b.Fatal(err)
 		}
 		opt := analysis.NewOptimizedRep(rep)
-		mapping, err := be.MapLayers(eng, opt)
+		mapping, err := be.MapLayers(context.Background(), eng, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -294,12 +295,12 @@ func BenchmarkAblationMappingStrategies(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				eng, err := be.Build(rep2, backend.Config{Platform: plat, DType: graph.Float16, Batch: 4})
+				eng, err := be.Build(context.Background(), rep2, backend.Config{Platform: plat, DType: graph.Float16, Batch: 4})
 				if err != nil {
 					b.Fatal(err)
 				}
 				opt := analysis.NewOptimizedRep(rep2)
-				if _, err := be.MapLayers(eng, opt); err != nil {
+				if _, err := be.MapLayers(context.Background(), eng, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 
@@ -46,18 +47,48 @@ func main() {
 		listPlats    = flag.Bool("list-platforms", false, "list hardware platforms and exit")
 		seed         = flag.Uint64("seed", 0, "jitter seed (emulates run-to-run variance)")
 		optimize     = flag.Bool("optimize", false, "apply graph cleanup passes (identity elimination, constant folding, DCE) before profiling")
-		trace        = flag.Int("trace", 0, "print the full-stack trace (model layer -> backend layer -> kernels) for the first N layers")
+		traceLayers  = flag.Int("trace-layers", 0, "print the full-stack trace (model layer -> backend layer -> kernels) for the first N layers")
+		traceOut     = flag.String("trace", "", "record the pipeline's own stage spans and write a Chrome trace-event JSON (Perfetto-loadable) to this path")
 		advise       = flag.Bool("advise", false, "print optimization guidance derived from the roofline analysis")
 		allPlatforms = flag.Bool("all-platforms", false, "profile the model on every platform and rank by throughput")
 		runs         = flag.Int("runs", 1, "profiling runs for latency statistics (best-of-N)")
 		cacheStats   = flag.Bool("cache-stats", false, "print the session cache counters (hits/misses/dedups) on exit")
+		logLevel     = flag.String("log-level", "warn", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "proof: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
 
 	// Ctrl-C cancels the profiling pipeline and any in-flight sweep
 	// fan-out instead of killing the process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// -trace records the pipeline's own stage spans; everything run
+	// through ctx below lands in one Chrome trace written on exit.
+	var tracer *proof.Tracer
+	if *traceOut != "" {
+		tracer = proof.NewTracer("proof")
+		ctx = proof.WithTracer(ctx, tracer)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tracer.Snapshot().WriteChrome(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("pipeline trace written to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
+		}()
+	}
 
 	// All profiling in this invocation goes through one cached session:
 	// a -compare or -runs invocation revisiting the same configuration
@@ -192,9 +223,9 @@ func main() {
 			stats.MaxLatency.Round(1000), stats.CV*100)
 	}
 	proof.WriteText(os.Stdout, report, *topN)
-	if *trace > 0 {
+	if *traceLayers > 0 {
 		fmt.Println()
-		proof.WriteFullStackTrace(os.Stdout, report, *trace)
+		proof.WriteFullStackTrace(os.Stdout, report, *traceLayers)
 	}
 	if *advise {
 		fmt.Println()

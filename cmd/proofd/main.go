@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,8 @@ func main() {
 		drainTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		cacheCap     = flag.Int("cache-capacity", 0, "session report-cache capacity (0 = default 256)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and /debug/traces on this private address (empty = disabled)")
+		traceRing    = flag.Int("trace-ring", 0, "recent request traces retained for GET /debug/traces (0 = default 16)")
 	)
 	flag.Parse()
 
@@ -62,12 +65,27 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		ShutdownTimeout: *drainTimeout,
 		Logger:          logger,
+		TraceRingSize:   *traceRing,
 	})
 
 	// SIGTERM (orchestrator stop) and SIGINT (Ctrl-C) both trigger the
 	// graceful drain; a second signal kills the process the usual way.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
+
+	// The debug mux (pprof + trace ring) binds a separate, private
+	// address and only when asked: profiling endpoints never belong on
+	// the public listener.
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			logger.Info("proofd debug listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug server exited", "err", err.Error())
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		logger.Error("proofd exited", "err", err.Error())

@@ -11,6 +11,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -91,18 +92,21 @@ type Profile struct {
 // to nil (they have no original nodes).
 type Mapping map[string]*analysis.Layer
 
-// Backend is one simulated DNN inference runtime.
+// Backend is one simulated DNN inference runtime. Both operations take
+// a context so that the obs tracing layer can attribute time to the
+// build and mapping internals (a backend with no tracer installed pays
+// nothing).
 type Backend interface {
 	// Name returns the backend key ("trtsim", "ovsim", "ortsim").
 	Name() string
 	// Build optimizes the model for the target config and returns an
 	// executable engine.
-	Build(rep *analysis.Rep, cfg Config) (*Engine, error)
+	Build(ctx context.Context, rep *analysis.Rep, cfg Config) (*Engine, error)
 	// MapLayers implements PRoof's layer-mapping strategy for this
 	// runtime: using only the public Layer info of the engine, it
 	// transforms opt into the backend's fused structure and returns
 	// the backend-layer-to-model-layer mapping.
-	MapLayers(e *Engine, opt *analysis.OptimizedRep) (Mapping, error)
+	MapLayers(ctx context.Context, e *Engine, opt *analysis.OptimizedRep) (Mapping, error)
 }
 
 var registry = map[string]Backend{}

@@ -1,6 +1,7 @@
 package backend_test
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -71,12 +72,12 @@ func TestMappingReconstructsGroundTruth(t *testing.T) {
 			t.Run(bk+"/"+model, func(t *testing.T) {
 				rep := buildRep(t, model, 2, graph.Float16)
 				cfg := backend.Config{Platform: plat, DType: graph.Float16, Batch: 2}
-				eng, err := be.Build(rep, cfg)
+				eng, err := be.Build(context.Background(), rep, cfg)
 				if err != nil {
 					t.Fatalf("engine build: %v", err)
 				}
 				opt := analysis.NewOptimizedRep(rep)
-				mapping, err := be.MapLayers(eng, opt)
+				mapping, err := be.MapLayers(context.Background(), eng, opt)
 				if err != nil {
 					t.Fatalf("mapping: %v", err)
 				}
@@ -120,7 +121,7 @@ func TestEngineProfileDeterminismAndJitter(t *testing.T) {
 	plat, _ := hardware.Get("a100")
 	rep := buildRep(t, "resnet-50", 8, graph.Float16)
 	be, _ := backend.Get("trtsim")
-	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 8})
+	eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestTRTMyelinRegions(t *testing.T) {
 	plat, _ := hardware.Get("a100")
 	rep := buildRep(t, "vit-t", 2, graph.Float16)
 	be, _ := backend.Get("trtsim")
-	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
+	eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestTRTMyelinRegions(t *testing.T) {
 
 	// A pure CNN must produce none.
 	repCNN := buildRep(t, "resnet-50", 2, graph.Float16)
-	engCNN, err := be.Build(repCNN, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
+	engCNN, err := be.Build(context.Background(), repCNN, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestTRTFusesConvBlocks(t *testing.T) {
 	plat, _ := hardware.Get("a100")
 	rep := buildRep(t, "resnet-50", 2, graph.Float16)
 	be, _ := backend.Get("trtsim")
-	eng, _ := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
+	eng, _ := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
 	// ResNet-50 has 122 nodes; aggressive fusion should reduce the
 	// layer count well below node count: conv+relu and
 	// conv+add+relu chains collapse.
@@ -218,7 +219,7 @@ func TestORTReorderLayers(t *testing.T) {
 	plat, _ := hardware.Get("xeon-6330")
 	rep := buildRep(t, "shufflenetv2-1.0", 2, graph.Float32)
 	be, _ := backend.Get("ortsim")
-	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float32, Batch: 2})
+	eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float32, Batch: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestOVExposesOriginalNames(t *testing.T) {
 	plat, _ := hardware.Get("npu3720")
 	rep := buildRep(t, "mobilenetv2-1.0", 2, graph.Float16)
 	be, _ := backend.Get("ovsim")
-	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
+	eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestKernelLoweringCorrelation(t *testing.T) {
 	plat, _ := hardware.Get("a100")
 	rep := buildRep(t, "resnet-50", 2, graph.Float16)
 	be, _ := backend.Get("trtsim")
-	eng, _ := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
+	eng, _ := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 2})
 	for _, l := range eng.Layers() {
 		if len(l.Kernels) == 0 {
 			t.Errorf("layer %q has no kernels", l.Name)
@@ -313,12 +314,12 @@ func TestMappingAllZooModels(t *testing.T) {
 			t.Run(info.Key+"/"+bk, func(t *testing.T) {
 				rep := buildRep(t, info.Key, 1, graph.Float16)
 				be, _ := backend.Get(bk)
-				eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 1})
+				eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 1})
 				if err != nil {
 					t.Fatalf("build: %v", err)
 				}
 				opt := analysis.NewOptimizedRep(rep)
-				mapping, err := be.MapLayers(eng, opt)
+				mapping, err := be.MapLayers(context.Background(), eng, opt)
 				if err != nil {
 					t.Fatalf("mapping: %v", err)
 				}
@@ -351,11 +352,11 @@ func TestDTypeAffectsLatency(t *testing.T) {
 	be, _ := backend.Get("trtsim")
 
 	rep16 := buildRep(t, "resnet-50", 32, graph.Float16)
-	e16, _ := be.Build(rep16, backend.Config{Platform: plat, DType: graph.Float16, Batch: 32})
+	e16, _ := be.Build(context.Background(), rep16, backend.Config{Platform: plat, DType: graph.Float16, Batch: 32})
 	p16, _ := e16.Profile(0)
 
 	rep32 := buildRep(t, "resnet-50", 32, graph.Float32)
-	e32, _ := be.Build(rep32, backend.Config{Platform: plat, DType: graph.Float32, Batch: 32})
+	e32, _ := be.Build(context.Background(), rep32, backend.Config{Platform: plat, DType: graph.Float32, Batch: 32})
 	p32, _ := e32.Profile(0)
 
 	if p16.Total >= p32.Total {

@@ -1,11 +1,13 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 
 	"proof/internal/analysis"
 	"proof/internal/graph"
 	"proof/internal/hardware"
+	"proof/internal/obs"
 	"proof/internal/sim"
 )
 
@@ -45,8 +47,9 @@ type BuildSpec struct {
 // BuildEngine runs the shared backend build pipeline: fuse the graph,
 // derive the internal ground-truth optimized representation, insert
 // reformats, compute per-layer simulation workloads and lowered kernels,
-// and assemble the engine.
-func BuildEngine(spec BuildSpec, rep *analysis.Rep, cfg Config) (*Engine, error) {
+// and assemble the engine. The fusion and assembly phases are recorded
+// as "fuse" and "assemble" spans when ctx carries an obs tracer.
+func BuildEngine(ctx context.Context, spec BuildSpec, rep *analysis.Rep, cfg Config) (*Engine, error) {
 	if cfg.Platform == nil {
 		return nil, fmt.Errorf("backend: config requires a platform")
 	}
@@ -57,6 +60,8 @@ func BuildEngine(spec BuildSpec, rep *analysis.Rep, cfg Config) (*Engine, error)
 		cfg.Batch = rep.BatchSize()
 	}
 
+	_, fsp := obs.Start(ctx, "fuse")
+	fsp.SetAttr("backend", spec.BackendName)
 	groups := Fuse(rep, spec.Rules)
 	internalOpt := analysis.NewOptimizedRep(rep)
 
@@ -69,10 +74,17 @@ func BuildEngine(spec BuildSpec, rep *analysis.Rep, cfg Config) (*Engine, error)
 		}
 		f, err := internalOpt.SetFusedOp(fmt.Sprintf("%s_group_%d", spec.BackendName, i), gr.Nodes)
 		if err != nil {
-			return nil, fmt.Errorf("backend %s: fusing group %d: %w", spec.BackendName, i, err)
+			err = fmt.Errorf("backend %s: fusing group %d: %w", spec.BackendName, i, err)
+			fsp.EndErr(err)
+			return nil, err
 		}
 		truths[i] = &analysis.Layer{Fused: f}
 	}
+	fsp.SetAttrInt("groups", int64(len(groups)))
+	fsp.End()
+
+	_, asp := obs.Start(ctx, "assemble")
+	defer asp.End()
 
 	var reformats []ReformatSpec
 	if spec.Reformats != nil {

@@ -9,12 +9,14 @@
 package ortsim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"proof/internal/analysis"
 	"proof/internal/backend"
 	"proof/internal/graph"
+	"proof/internal/obs"
 )
 
 // ONNXRuntime is the simulated ONNX Runtime backend.
@@ -37,14 +39,14 @@ var rules = backend.FusionRules{
 }
 
 // Build optimizes the model ONNX-Runtime-style.
-func (o ONNXRuntime) Build(rep *analysis.Rep, cfg backend.Config) (*backend.Engine, error) {
+func (o ONNXRuntime) Build(ctx context.Context, rep *analysis.Rep, cfg backend.Config) (*backend.Engine, error) {
 	spec := backend.BuildSpec{
 		BackendName: o.Name(),
 		Rules:       rules,
 		Info:        ortInfo,
 		Reformats:   ortReorders,
 	}
-	return backend.BuildEngine(spec, rep, cfg)
+	return backend.BuildEngine(ctx, spec, rep, cfg)
 }
 
 func ortInfo(idx int, gr *backend.Group, truth *analysis.Layer, alias map[string]string) backend.Layer {
@@ -112,6 +114,11 @@ func ortReorders(rep *analysis.Rep, groups []*backend.Group) []backend.ReformatS
 // MapLayers implements PRoof's ONNX Runtime mapping strategy — exactly
 // the Figure 2 flow: reorder layers become tensor aliases, and each
 // fused layer's node set is recovered by get_subgraph_ops_by_io.
-func (ONNXRuntime) MapLayers(e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, error) {
-	return backend.MapByIO(e, opt)
+func (o ONNXRuntime) MapLayers(ctx context.Context, e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, error) {
+	_, sp := obs.Start(ctx, "map_layers")
+	sp.SetAttr("backend", o.Name())
+	m, err := backend.MapByIO(e, opt)
+	sp.SetAttrInt("layers", int64(len(m)))
+	sp.EndErr(err)
+	return m, err
 }

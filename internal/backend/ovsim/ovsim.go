@@ -7,10 +7,12 @@
 package ovsim
 
 import (
+	"context"
 	"fmt"
 
 	"proof/internal/analysis"
 	"proof/internal/backend"
+	"proof/internal/obs"
 )
 
 // OpenVINO is the simulated OpenVINO backend.
@@ -34,14 +36,14 @@ var rules = backend.FusionRules{
 }
 
 // Build optimizes the model OpenVINO-style.
-func (o OpenVINO) Build(rep *analysis.Rep, cfg backend.Config) (*backend.Engine, error) {
+func (o OpenVINO) Build(ctx context.Context, rep *analysis.Rep, cfg backend.Config) (*backend.Engine, error) {
 	spec := backend.BuildSpec{
 		BackendName: o.Name(),
 		Rules:       rules,
 		Info:        ovInfo,
 		Reformats:   ovReformats,
 	}
-	return backend.BuildEngine(spec, rep, cfg)
+	return backend.BuildEngine(ctx, spec, rep, cfg)
 }
 
 func ovInfo(idx int, gr *backend.Group, truth *analysis.Layer, alias map[string]string) backend.Layer {
@@ -77,7 +79,16 @@ func ovReformats(rep *analysis.Rep, groups []*backend.Group) []backend.ReformatS
 
 // MapLayers implements PRoof's OpenVINO mapping strategy: Convert layers
 // register aliases; every other layer directly names its original nodes.
-func (OpenVINO) MapLayers(e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, error) {
+func (o OpenVINO) MapLayers(ctx context.Context, e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, error) {
+	_, sp := obs.Start(ctx, "map_layers")
+	sp.SetAttr("backend", o.Name())
+	m, err := o.mapLayers(e, opt)
+	sp.SetAttrInt("layers", int64(len(m)))
+	sp.EndErr(err)
+	return m, err
+}
+
+func (OpenVINO) mapLayers(e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, error) {
 	m := backend.Mapping{}
 	for _, l := range e.Layers() {
 		if l.IsReformat {

@@ -11,11 +11,13 @@
 package trtsim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"proof/internal/analysis"
 	"proof/internal/backend"
+	"proof/internal/obs"
 )
 
 // TensorRT is the simulated TensorRT backend.
@@ -42,14 +44,14 @@ var rules = backend.FusionRules{
 }
 
 // Build optimizes the model TensorRT-style and returns the engine.
-func (t TensorRT) Build(rep *analysis.Rep, cfg backend.Config) (*backend.Engine, error) {
+func (t TensorRT) Build(ctx context.Context, rep *analysis.Rep, cfg backend.Config) (*backend.Engine, error) {
 	spec := backend.BuildSpec{
 		BackendName: t.Name(),
 		Rules:       rules,
 		Info:        trtInfo,
 		Reformats:   trtReformats,
 	}
-	return backend.BuildEngine(spec, rep, cfg)
+	return backend.BuildEngine(ctx, spec, rep, cfg)
 }
 
 func trtInfo(idx int, gr *backend.Group, truth *analysis.Layer, alias map[string]string) backend.Layer {
@@ -98,7 +100,18 @@ func trtReformats(rep *analysis.Rep, groups []*backend.Group) []backend.Reformat
 // layers register tensor aliases; named layers are parsed back into
 // original node sets; opaque Myelin regions are recovered by searching
 // the computational graph between their boundary tensors.
-func (TensorRT) MapLayers(e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, error) {
+func (t TensorRT) MapLayers(ctx context.Context, e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, error) {
+	_, sp := obs.Start(ctx, "map_layers")
+	sp.SetAttr("backend", t.Name())
+	m, opaque, err := t.mapLayers(e, opt)
+	sp.SetAttrInt("layers", int64(len(m)))
+	sp.SetAttrInt("opaque_regions", opaque)
+	sp.EndErr(err)
+	return m, err
+}
+
+func (TensorRT) mapLayers(e *backend.Engine, opt *analysis.OptimizedRep) (backend.Mapping, int64, error) {
+	var opaque int64
 	m := backend.Mapping{}
 	layers := e.Layers()
 	for _, l := range layers {
@@ -112,13 +125,14 @@ func (TensorRT) MapLayers(e *backend.Engine, opt *analysis.OptimizedRep) (backen
 			continue
 		}
 		if l.Opaque {
+			opaque++
 			nodes, err := opt.GetSubgraphOpsByIO(l.InputTensors, l.OutputTensors)
 			if err != nil {
-				return nil, fmt.Errorf("trtsim: mapping opaque region %q: %w", l.Name, err)
+				return nil, opaque, fmt.Errorf("trtsim: mapping opaque region %q: %w", l.Name, err)
 			}
 			f, err := opt.SetFusedOp(l.Name, nodes)
 			if err != nil {
-				return nil, fmt.Errorf("trtsim: fusing %q: %w", l.Name, err)
+				return nil, opaque, fmt.Errorf("trtsim: fusing %q: %w", l.Name, err)
 			}
 			m[l.Name] = &analysis.Layer{Fused: f}
 			continue
@@ -126,13 +140,13 @@ func (TensorRT) MapLayers(e *backend.Engine, opt *analysis.OptimizedRep) (backen
 		names := strings.Split(l.Name, " + ")
 		nodes, err := backend.NodesByName(opt, names)
 		if err != nil {
-			return nil, fmt.Errorf("trtsim: mapping %q: %w", l.Name, err)
+			return nil, opaque, fmt.Errorf("trtsim: mapping %q: %w", l.Name, err)
 		}
 		layer, err := backend.FuseMapped(opt, l.Name, nodes)
 		if err != nil {
-			return nil, err
+			return nil, opaque, err
 		}
 		m[l.Name] = layer
 	}
-	return m, nil
+	return m, opaque, nil
 }

@@ -21,6 +21,7 @@ import (
 	"proof/internal/hardware"
 	"proof/internal/models"
 	"proof/internal/ncusim"
+	"proof/internal/obs"
 	"proof/internal/roofline"
 	"proof/internal/sim"
 )
@@ -162,7 +163,20 @@ func Profile(opts Options) (*Report, error) {
 // profiling, layer mapping, metric collection). The pipeline stages
 // themselves are synchronous; ctx is checked at each stage boundary so
 // an abandoned request stops doing work at the next opportunity.
+//
+// When an obs.Tracer is installed in ctx, the run is recorded as a
+// "pipeline" span with one child span per stage (model_build,
+// backend_build, profile, layer_map, roofline, measure, analysis) —
+// the profiler profiling itself. With no tracer installed the
+// instrumentation is a true no-op.
 func ProfileCtx(ctx context.Context, opts Options) (*Report, error) {
+	ctx, pipe := obs.Start(ctx, "pipeline")
+	rep, err := profilePipeline(ctx, opts, pipe)
+	pipe.EndErr(err)
+	return rep, err
+}
+
+func profilePipeline(ctx context.Context, opts Options, pipe *obs.Span) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -186,20 +200,31 @@ func ProfileCtx(ctx context.Context, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	pipe.SetAttr("model", opts.Model)
+	pipe.SetAttr("platform", plat.Key)
+	pipe.SetAttr("backend", backendKey)
+	pipe.SetAttrInt("batch", int64(batch))
+	pipe.SetAttr("dtype", dt.String())
 
+	_, msp := obs.Start(ctx, "model_build")
 	g := opts.Graph
 	modelName := opts.Model
 	if g == nil {
 		info, ok := models.Lookup(opts.Model)
 		if !ok {
-			return nil, fmt.Errorf("core: unknown model %q", opts.Model)
+			err := fmt.Errorf("core: unknown model %q", opts.Model)
+			msp.EndErr(err)
+			return nil, err
 		}
 		if !opts.IgnoreSupport && !plat.Supports(info.Type) {
-			return nil, fmt.Errorf("core: platform %s does not support %s models (model %s failed to run in the paper's evaluation as well)",
+			err := fmt.Errorf("core: platform %s does not support %s models (model %s failed to run in the paper's evaluation as well)",
 				plat.Key, info.Type, info.Key)
+			msp.EndErr(err)
+			return nil, err
 		}
 		g, err = info.Build()
 		if err != nil {
+			msp.EndErr(err)
 			return nil, err
 		}
 	} else if modelName == "" {
@@ -215,23 +240,32 @@ func ProfileCtx(ctx context.Context, opts Options) (*Report, error) {
 	}
 	rep, err := analysis.NewRepWithBatch(g, batch)
 	if err != nil {
+		msp.EndErr(err)
 		return nil, err
 	}
+	msp.SetAttrInt("nodes", int64(rep.NodeCount()))
+	msp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	cfg := backend.Config{Platform: plat, DType: dt, Batch: batch, Clocks: opts.Clocks}
-	eng, err := be.Build(rep, cfg)
+	bctx, bsp := obs.Start(ctx, "backend_build")
+	eng, err := be.Build(bctx, rep, cfg)
 	if err != nil {
+		bsp.EndErr(err)
 		return nil, err
 	}
+	bsp.SetAttrInt("layers", int64(len(eng.Layers())))
+	bsp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Built-in profiler: per-layer latencies (all the runtime gives).
+	_, psp := obs.Start(ctx, "profile")
 	prof, err := eng.Profile(opts.Seed)
+	psp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -241,30 +275,38 @@ func ProfileCtx(ctx context.Context, opts Options) (*Report, error) {
 
 	// Layer mapping: reconstruct the fused structure from the public
 	// backend info.
+	lctx, lsp := obs.Start(ctx, "layer_map")
 	opt := analysis.NewOptimizedRep(rep)
-	mapping, err := be.MapLayers(eng, opt)
+	mapping, err := be.MapLayers(lctx, eng, opt)
 	if err != nil {
-		return nil, fmt.Errorf("core: layer mapping on %s: %w", backendKey, err)
+		err = fmt.Errorf("core: layer mapping on %s: %w", backendKey, err)
+		lsp.EndErr(err)
+		return nil, err
 	}
+	lsp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Roofline ceilings.
 	var rl roofline.Model
+	rctx, rsp := obs.Start(ctx, "roofline")
 	if opts.MeasuredRoofline {
-		rl, err = roofline.MeasuredModel(plat, dt, opts.Clocks, opts.Seed)
+		rl, err = roofline.MeasuredModel(rctx, plat, dt, opts.Clocks, opts.Seed)
 		if err != nil {
+			rsp.EndErr(err)
 			return nil, err
 		}
 	} else {
 		rl = roofline.NewModel(plat, dt, opts.Clocks)
 	}
+	rsp.End()
 
 	mode := opts.Mode
 	if mode == "" {
 		mode = ModePredicted
 	}
+	pipe.SetAttr("mode", string(mode))
 
 	report := &Report{
 		Model:     modelName,
@@ -285,10 +327,14 @@ func ProfileCtx(ctx context.Context, opts Options) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		_, nsp := obs.Start(ctx, "measure")
 		res, err := ncusim.Measure(eng, opts.Seed)
 		if err != nil {
+			nsp.EndErr(err)
 			return nil, err
 		}
+		nsp.SetAttrInt("kernels", int64(len(res.Layers)))
+		nsp.End()
 		measured = make(map[string]ncusim.LayerMeasurement, len(res.Layers))
 		for _, lm := range res.Layers {
 			measured[lm.LayerName] = lm
@@ -296,6 +342,8 @@ func ProfileCtx(ctx context.Context, opts Options) (*Report, error) {
 		report.ProfilingOverhead = res.ProfilingTime
 	}
 
+	_, asp := obs.Start(ctx, "analysis")
+	defer asp.End()
 	timings := eng.Timings(opts.Seed)
 	lw := &roofline.LayerWise{Model: rl}
 	for i, bl := range eng.Layers() {

@@ -7,6 +7,7 @@ import (
 
 	"proof/internal/hardware"
 	"proof/internal/models"
+	"proof/internal/obs"
 	"proof/internal/parallel"
 )
 
@@ -57,12 +58,17 @@ func PlatformSweepWith(ctx context.Context, model string, mode Mode, profile fun
 	return platformSweep(ctx, model, mode, profile)
 }
 
-func platformSweep(ctx context.Context, model string, mode Mode, profile func(context.Context, Options) (*Report, error)) ([]PlatformResult, error) {
+func platformSweep(ctx context.Context, model string, mode Mode, profile func(context.Context, Options) (*Report, error)) (_ []PlatformResult, err error) {
+	ctx, sp := obs.Start(ctx, "sweep")
+	sp.SetAttr("model", model)
+	sp.SetAttr("mode", string(mode))
+	defer func() { sp.EndErr(err) }()
 	info, ok := models.Lookup(model)
 	if !ok {
 		return nil, errUnknownModel(model)
 	}
 	platforms := hardware.List()
+	sp.SetAttrInt("platforms", int64(len(platforms)))
 	results, err := parallel.MapCtx(ctx, platforms, 0, func(ctx context.Context, p *hardware.Platform) (PlatformResult, error) {
 		if !p.Supports(info.Type) {
 			return PlatformResult{

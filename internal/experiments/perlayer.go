@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -53,12 +54,12 @@ func PerLayerTable4(batch int) ([]PerLayerAccuracy, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: batch})
+		eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: batch})
 		if err != nil {
 			return nil, err
 		}
 		opt := analysis.NewOptimizedRep(rep)
-		mapping, err := be.MapLayers(eng, opt)
+		mapping, err := be.MapLayers(context.Background(), eng, opt)
 		if err != nil {
 			return nil, err
 		}

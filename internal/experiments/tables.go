@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -178,14 +179,14 @@ func Table4WithBatch(batch int) ([]Table4Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: batch})
+		eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: batch})
 		if err != nil {
 			return nil, err
 		}
 		// Analytical prediction at backend-layer granularity: sum of
 		// fused-layer costs via the mapping.
 		opt := analysis.NewOptimizedRep(rep)
-		mapping, err := be.MapLayers(eng, opt)
+		mapping, err := be.MapLayers(context.Background(), eng, opt)
 		if err != nil {
 			return nil, err
 		}

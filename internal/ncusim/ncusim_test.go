@@ -1,6 +1,7 @@
 package ncusim
 
 import (
+	"context"
 	"testing"
 
 	"proof/internal/analysis"
@@ -31,7 +32,7 @@ func measureModel(t *testing.T, model, platform string, batch int) (*Result, *an
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: plat.DefaultDType, Batch: batch})
+	eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: plat.DefaultDType, Batch: batch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestNoTensorCoresNoMMA(t *testing.T) {
 		t.Fatal(err)
 	}
 	be, _ := backend.Get("ortsim")
-	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: graph.Float32, Batch: 4})
+	eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float32, Batch: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto), matching the conventions of
+// internal/dataviewer's model-timeline exporter: complete ("X") events
+// with microsecond timestamps plus name metadata ("M") events.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object trace container.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeEvents converts the trace's spans into trace events. Each obs
+// track becomes a Chrome thread: span tracks are assigned so that
+// overlapping spans never share a track, which is exactly the
+// invariant the viewer needs to render nesting correctly.
+func (t *Trace) chromeEvents() []chromeEvent {
+	events := []chromeEvent{{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]string{"name": t.Name},
+	}}
+	// Name each thread after the first span that opened its track.
+	named := map[int]bool{}
+	for _, s := range t.Spans {
+		if named[s.Track] {
+			continue
+		}
+		named[s.Track] = true
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: s.Track + 1,
+			Args: map[string]string{"name": s.Name},
+		})
+	}
+	for _, s := range t.Spans {
+		args := make(map[string]string, len(s.Attrs)+2)
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		if s.ParentID != 0 {
+			args["parent_span"] = itoa(s.ParentID)
+		}
+		cat := "stage"
+		if s.Error != "" {
+			cat = "error"
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: cat, Phase: "X",
+			TS:  float64(s.Start) / 1e3, // ns -> us
+			Dur: float64(s.Duration) / 1e3,
+			PID: 1, TID: s.Track + 1,
+			Args: args,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		// Metadata first, then chronological.
+		if (events[i].Phase == "M") != (events[j].Phase == "M") {
+			return events[i].Phase == "M"
+		}
+		return events[i].TS < events[j].TS
+	})
+	return events
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// WriteChrome exports the trace in the Chrome trace-event JSON format,
+// loadable in chrome://tracing and Perfetto.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: t.chromeEvents(), DisplayTimeUnit: "ms"})
+}
+
+// ChromeJSON returns the Chrome trace-event JSON as bytes (for
+// embedding in an API response envelope).
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	return json.Marshal(chromeDoc{TraceEvents: t.chromeEvents(), DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,111 @@
+// Spans from concurrent parallel.MapCtx workers must nest under the
+// caller's span, race-free, and never share a display track while
+// overlapping. This lives in package obs_test because parallel imports
+// obs.
+package obs_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"proof/internal/obs"
+	"proof/internal/parallel"
+)
+
+func TestConcurrentWorkerSpans(t *testing.T) {
+	tr := obs.NewTracer("sweep")
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx, root := obs.Start(ctx, "sweep")
+
+	items := make([]int, 16)
+	for i := range items {
+		items[i] = i
+	}
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	_, err := parallel.MapCtx(ctx, items, 4, func(ctx context.Context, it int) (int, error) {
+		// Nested span started from inside a worker: its parent must be
+		// that worker's span, not the sweep root.
+		_, inner := obs.Start(ctx, "inner")
+		inner.End()
+		mu.Lock()
+		seen[it] = true
+		mu.Unlock()
+		return it * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	trace := tr.Snapshot()
+	var workers, inners int
+	workerIDs := map[uint64]bool{}
+	for _, s := range trace.Spans {
+		switch s.Name {
+		case "worker":
+			workers++
+			workerIDs[s.ID] = true
+			if s.ParentID != root.ID() {
+				t.Errorf("worker span parent = %d, want sweep root %d", s.ParentID, root.ID())
+			}
+		case "inner":
+			inners++
+		}
+	}
+	if workers != len(items) {
+		t.Errorf("got %d worker spans, want %d", workers, len(items))
+	}
+	if inners != len(items) {
+		t.Errorf("got %d inner spans, want %d", inners, len(items))
+	}
+	for _, s := range trace.Spans {
+		if s.Name == "inner" && !workerIDs[s.ParentID] {
+			t.Errorf("inner span parent %d is not a worker span", s.ParentID)
+		}
+	}
+
+	// Track invariant: two spans on the same track either nest or are
+	// disjoint — never partially overlap. This is what makes the Chrome
+	// export render correctly regardless of worker interleaving.
+	for i, a := range trace.Spans {
+		for _, b := range trace.Spans[i+1:] {
+			if a.Track != b.Track {
+				continue
+			}
+			disjoint := a.End() <= b.Start || b.End() <= a.Start
+			nested := (a.Start <= b.Start && b.End() <= a.End()) ||
+				(b.Start <= a.Start && a.End() <= b.End())
+			if !disjoint && !nested {
+				t.Errorf("spans %q[%v,%v] and %q[%v,%v] partially overlap on track %d",
+					a.Name, a.Start, a.End(), b.Name, b.Start, b.End(), a.Track)
+			}
+		}
+	}
+}
+
+// TestSerialMapUsesWorkerSpans: the workers<=1 fast path must produce
+// the same span shape as the concurrent one.
+func TestSerialMapSpans(t *testing.T) {
+	tr := obs.NewTracer("serial")
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx, root := obs.Start(ctx, "sweep")
+	_, err := parallel.MapCtx(ctx, []int{1, 2, 3}, 1, func(ctx context.Context, it int) (int, error) {
+		return it, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	trace := tr.Snapshot()
+	var workers int
+	for _, s := range trace.Spans {
+		if s.Name == "worker" {
+			workers++
+		}
+	}
+	if workers != 3 {
+		t.Errorf("serial path produced %d worker spans, want 3", workers)
+	}
+}

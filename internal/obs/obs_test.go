@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// fakeClock returns a tracer whose clock advances 1ms on every reading,
+// so span offsets and durations are fully deterministic.
+func fakeClock(name string) *Tracer {
+	t := NewTracer(name)
+	base := t.began
+	var ticks int
+	t.now = func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * time.Millisecond)
+	}
+	return t
+}
+
+func TestSpanNestingAndOrder(t *testing.T) {
+	tr := fakeClock("test")
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "pipeline")
+	root.SetAttr("model", "resnet-50")
+	cctx, build := Start(ctx, "model_build")
+	build.SetAttrInt("nodes", 42)
+	build.End()
+	_, prof := Start(ctx, "profile")
+	prof.EndErr(errors.New("boom"))
+	root.End()
+	_ = cctx
+
+	trace := tr.Snapshot()
+	if len(trace.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(trace.Spans))
+	}
+	pipe := trace.Find("pipeline")
+	if pipe == nil || pipe.ParentID != 0 {
+		t.Fatalf("pipeline span missing or not a root: %+v", pipe)
+	}
+	for _, name := range []string{"model_build", "profile"} {
+		s := trace.Find(name)
+		if s == nil {
+			t.Fatalf("span %q missing", name)
+		}
+		if s.ParentID != pipe.ID {
+			t.Errorf("%s.ParentID = %d, want %d", name, s.ParentID, pipe.ID)
+		}
+	}
+	if got := trace.Find("profile").Error; got != "boom" {
+		t.Errorf("profile error = %q, want boom", got)
+	}
+	if got := trace.Find("model_build").Attrs; len(got) != 1 || got[0].Value != "42" {
+		t.Errorf("model_build attrs = %v", got)
+	}
+	// Snapshot orders by start offset.
+	for i := 1; i < len(trace.Spans); i++ {
+		if trace.Spans[i].Start < trace.Spans[i-1].Start {
+			t.Errorf("spans out of order at %d: %v", i, trace.Spans)
+		}
+	}
+}
+
+// TestTrackAssignment pins the display-lane invariant Chrome needs:
+// sequential children stack on the parent's track, concurrent siblings
+// each get a fresh one.
+func TestTrackAssignment(t *testing.T) {
+	tr := fakeClock("tracks")
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	_, a := Start(ctx, "seq_a")
+	a.End()
+	// b and c overlap: siblings must not share a track with each other
+	// once the first one claims the parent's.
+	bctx, b := Start(ctx, "par_b")
+	_, c := Start(ctx, "par_c")
+	_ = bctx
+	b.End()
+	c.End()
+	root.End()
+
+	trace := tr.Snapshot()
+	rootS, aS := trace.Find("root"), trace.Find("seq_a")
+	bS, cS := trace.Find("par_b"), trace.Find("par_c")
+	if aS.Track != rootS.Track {
+		t.Errorf("sequential child track = %d, want parent's %d", aS.Track, rootS.Track)
+	}
+	if bS.Track != rootS.Track {
+		t.Errorf("first concurrent child track = %d, want parent's %d", bS.Track, rootS.Track)
+	}
+	if cS.Track == bS.Track {
+		t.Errorf("overlapping siblings share track %d", cS.Track)
+	}
+}
+
+func TestMaxSpansBound(t *testing.T) {
+	tr := NewTracer("bounded")
+	tr.SetMaxSpans(3)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	trace := tr.Snapshot()
+	if len(trace.Spans) != 3 {
+		t.Errorf("retained %d spans, want 3", len(trace.Spans))
+	}
+	if trace.Dropped != 7 {
+		t.Errorf("dropped = %d, want 7", trace.Dropped)
+	}
+}
+
+// TestNoopTracerZeroAlloc proves the disabled path is free: no tracer
+// in the context means Start and every span method allocate nothing.
+func TestNoopTracerZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	n := testing.AllocsPerRun(200, func() {
+		ctx2, sp := Start(ctx, "stage")
+		sp.SetAttr("k", "v")
+		sp.SetAttrInt("i", 7)
+		sp.SetError(nil)
+		sp.EndErr(nil)
+		if ctx2 != ctx {
+			t.Fatal("disabled Start must return ctx unchanged")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("disabled tracer path allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkNoopTracer(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "stage")
+		sp.SetAttrInt("i", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledTracer(b *testing.B) {
+	tr := NewTracer("bench")
+	tr.SetMaxSpans(1)
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "stage")
+		sp.End()
+	}
+}
+
+// TestGoldenChromeTrace locks the Chrome trace-event export format
+// against testdata/pipeline.trace.json (regenerate with -update).
+func TestGoldenChromeTrace(t *testing.T) {
+	tr := fakeClock("proof")
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "pipeline")
+	root.SetAttr("model", "resnet-50")
+	root.SetAttr("platform", "a100")
+	_, mb := Start(ctx, "model_build")
+	mb.SetAttrInt("nodes", 176)
+	mb.End()
+	bctx, bb := Start(ctx, "backend_build")
+	_, fuse := Start(bctx, "fuse")
+	fuse.End()
+	bb.End()
+	_, w1 := Start(ctx, "worker")
+	_, w2 := Start(ctx, "worker")
+	w1.SetAttrInt("worker", 0)
+	w2.SetAttrInt("worker", 1)
+	w1.End()
+	w2.End()
+	_, bad := Start(ctx, "profile")
+	bad.EndErr(errors.New("sim failed"))
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.Snapshot().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "pipeline.trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run go test ./internal/obs -update): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("chrome trace drifted from golden:\n got: %s\nwant: %s", got, want)
+	}
+	// Schema sanity independent of the fixture bytes.
+	for _, substr := range []string{
+		`"displayTimeUnit":"ms"`, `"ph":"M"`, `"ph":"X"`,
+		`"name":"process_name"`, `"cat":"error"`, `"parent_span"`,
+	} {
+		if !strings.Contains(buf.String(), substr) {
+			t.Errorf("chrome export missing %q", substr)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(2)
+	if r.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", r.Capacity())
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		r.Add(&Trace{Name: name})
+	}
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].Name != "c" || got[1].Name != "b" {
+		t.Errorf("snapshot = %v, want [c b]", names(got))
+	}
+	if r.Total() != 3 {
+		t.Errorf("total = %d, want 3", r.Total())
+	}
+	r.Add(nil) // ignored
+	if r.Total() != 3 {
+		t.Errorf("nil add counted")
+	}
+}
+
+func names(ts []*Trace) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}

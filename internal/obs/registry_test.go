@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ops_total", "Ops.").Add(3)
+	r.CounterVec("test_requests_total", "Requests.", "path", "code").
+		With("/v1/profile", "200").Inc()
+	r.Gauge("test_depth", "Depth.").Set(2.5)
+	r.GaugeFunc("test_live", "Live.", func() float64 { return 7 })
+	r.CounterFunc("test_hits_total", "Hits.", func() float64 { return 11 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(4)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE test_ops_total counter",
+		"test_ops_total 3",
+		`test_requests_total{path="/v1/profile",code="200"} 1`,
+		"# TYPE test_depth gauge",
+		"test_depth 2.5",
+		"test_live 7",
+		"# TYPE test_hits_total counter",
+		"test_hits_total 11",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_sum 4.5625",
+		"test_latency_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// Families render sorted by name: stable, diffable output.
+	first := strings.Index(text, "test_depth")
+	last := strings.Index(text, "test_requests_total")
+	if first == -1 || last == -1 || first > last {
+		t.Errorf("families not sorted by name:\n%s", text)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second")
+	if a != b {
+		t.Error("re-registering a counter returned a different handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("handles do not share state")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kind_total", "c")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("kind_total", "g")
+}
+
+func TestObserveStages(t *testing.T) {
+	tr := fakeClock("req")
+	sp := tr.startSpan("pipeline", nil)
+	sp.End()
+	sp = tr.startSpan("model_build", nil)
+	sp.End()
+	sp = tr.startSpan("model_build", nil)
+	sp.End()
+
+	r := NewRegistry()
+	ObserveStages(r, "proofd", tr.Snapshot())
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		`proofd_stage_duration_seconds_count{stage="pipeline"} 1`,
+		`proofd_stage_duration_seconds_count{stage="model_build"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stage histogram missing %q\n%s", want, text)
+		}
+	}
+	// nil registry / trace are no-ops, not panics.
+	ObserveStages(nil, "x", tr.Snapshot())
+	ObserveStages(r, "x", nil)
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur_seconds", "d", nil)
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Errorf("count = %d, want 1", h.Count())
+	}
+}

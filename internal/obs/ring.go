@@ -1,0 +1,63 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity buffer of the most recent traces — proofd
+// keeps the last N request traces here so an operator can pull a
+// runnable Chrome trace off a live service (GET /debug/traces) without
+// the service ever holding unbounded trace memory: the (N+1)th trace
+// evicts the oldest.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	next  int
+	total uint64
+}
+
+// NewRing creates a ring retaining the last capacity traces
+// (capacity <= 0 selects 16).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &Ring{buf: make([]*Trace, capacity)}
+}
+
+// Add records a trace, evicting the oldest when full. nil traces are
+// ignored.
+func (r *Ring) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, most recent first.
+func (r *Ring) Snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.buf))
+	for i := 1; i <= len(r.buf); i++ {
+		t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Capacity returns the retention bound.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Total returns the lifetime count of traces added (including
+// evicted ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

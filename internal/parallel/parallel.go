@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"proof/internal/obs"
 )
 
 // PanicError wraps a panic recovered from a worker function. Instead of
@@ -40,6 +42,20 @@ func call[T, R any](ctx context.Context, f func(context.Context, T) (R, error), 
 	return f(ctx, item)
 }
 
+// traceCall is call wrapped in a per-item "worker" span (no-op when no
+// tracer is installed): each fan-out item becomes one span carrying
+// the worker and item indices, so a pipeline trace shows exactly how a
+// sweep spread across workers. A worker panic is recorded as the
+// span's error before being converted to a *PanicError.
+func traceCall[T, R any](ctx context.Context, f func(context.Context, T) (R, error), item T, worker, idx int) (R, error) {
+	wctx, sp := obs.Start(ctx, "worker")
+	sp.SetAttrInt("worker", int64(worker))
+	sp.SetAttrInt("item", int64(idx))
+	r, err := call(wctx, f, item)
+	sp.EndErr(err)
+	return r, err
+}
+
 // MapCtx applies f to every item using at most workers goroutines,
 // returning results in input order. The first error cancels the
 // remaining work: in-flight calls finish (they can also observe the
@@ -64,7 +80,7 @@ func MapCtx[T, R any](ctx context.Context, items []T, workers int, f func(contex
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := call(ctx, f, it)
+			r, err := traceCall(ctx, f, it, 0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -94,20 +110,20 @@ func MapCtx[T, R any](ctx context.Context, items []T, workers int, f func(contex
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for idx := range jobs {
 				if inner.Err() != nil {
 					continue // drain remaining jobs after an error or cancellation
 				}
-				r, err := call(inner, f, items[idx])
+				r, err := traceCall(inner, f, items[idx], w, idx)
 				if err != nil {
 					setErr(err)
 					continue
 				}
 				results[idx] = r
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := range items {

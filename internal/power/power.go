@@ -12,6 +12,7 @@
 package power
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -114,7 +115,7 @@ func PeakSweep(platform string, dt graph.DataType, pairs [][2]int) ([]PeakRow, e
 	var rows []PeakRow
 	for _, pair := range pairs {
 		clk := hardware.Clocks{GPUMHz: pair[0], EMCMHz: pair[1], CPUMHz: 729, CPUClusters: 1}
-		peak, err := roofline.MeasurePeak(plat, dt, clk, 1)
+		peak, err := roofline.MeasurePeak(context.Background(), plat, dt, clk, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"proof/internal/core"
+	"proof/internal/obs"
 )
 
 // DefaultCapacity is the report-cache capacity used when a Session is
@@ -135,6 +136,16 @@ func (s *Session) ProfileCtx(ctx context.Context, opts core.Options) (*core.Repo
 // (OutcomeDedup). On error the outcome still describes the path taken
 // (a failed execution reports OutcomeMiss).
 func (s *Session) ProfileOutcome(ctx context.Context, opts core.Options) (*core.Report, Outcome, error) {
+	ctx, sp := obs.Start(ctx, "session")
+	sp.SetAttr("model", opts.Model)
+	sp.SetAttr("platform", opts.Platform)
+	rep, out, err := s.profileOutcome(ctx, opts)
+	sp.SetAttr("cache", string(out))
+	sp.EndErr(err)
+	return rep, out, err
+}
+
+func (s *Session) profileOutcome(ctx context.Context, opts core.Options) (*core.Report, Outcome, error) {
 	key, err := Fingerprint(opts)
 	if err != nil {
 		return nil, OutcomeMiss, err

@@ -1,6 +1,7 @@
 package roofline
 
 import (
+	"context"
 	"fmt"
 
 	"proof/internal/analysis"
@@ -8,6 +9,7 @@ import (
 	"proof/internal/graph"
 	"proof/internal/hardware"
 	"proof/internal/models"
+	"proof/internal/obs"
 )
 
 // PeakResult is the achieved roofline peak measured by running the
@@ -24,7 +26,11 @@ type PeakResult struct {
 // runtime at the given clocks and data type, and returns the best
 // attained compute rate and bandwidth — the *achieved* roofline, as
 // opposed to the datasheet peak.
-func MeasurePeak(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks, seed uint64) (PeakResult, error) {
+func MeasurePeak(ctx context.Context, plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks, seed uint64) (res PeakResult, err error) {
+	ctx, sp := obs.Start(ctx, "peak_test")
+	sp.SetAttr("platform", plat.Key)
+	sp.SetAttr("dtype", dt.String())
+	defer func() { sp.EndErr(err) }()
 	g, err := models.Build("peak-test")
 	if err != nil {
 		return PeakResult{}, err
@@ -38,14 +44,13 @@ func MeasurePeak(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks
 	if err != nil {
 		return PeakResult{}, err
 	}
-	eng, err := be.Build(rep, backend.Config{Platform: plat, DType: dt, Batch: 1, Clocks: clk})
+	eng, err := be.Build(ctx, rep, backend.Config{Platform: plat, DType: dt, Batch: 1, Clocks: clk})
 	if err != nil {
 		return PeakResult{}, err
 	}
 
 	works := eng.Works()
 	timings := eng.Timings(seed)
-	var res PeakResult
 	for i, w := range works {
 		t := timings[i]
 		sec := t.Latency.Seconds()
@@ -70,8 +75,8 @@ func MeasurePeak(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks
 
 // MeasuredModel builds a roofline Model whose ceilings come from the
 // achieved peak test rather than the platform constants.
-func MeasuredModel(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks, seed uint64) (Model, error) {
-	peak, err := MeasurePeak(plat, dt, clk, seed)
+func MeasuredModel(ctx context.Context, plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks, seed uint64) (Model, error) {
+	peak, err := MeasurePeak(ctx, plat, dt, clk, seed)
 	if err != nil {
 		return Model{}, err
 	}

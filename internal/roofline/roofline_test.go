@@ -1,6 +1,7 @@
 package roofline
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -112,7 +113,7 @@ func TestLayerWiseAggregation(t *testing.T) {
 
 func TestMeasurePeakA100(t *testing.T) {
 	plat, _ := hardware.Get("a100")
-	res, err := MeasurePeak(plat, graph.Float16, hardware.Clocks{}, 1)
+	res, err := MeasurePeak(context.Background(), plat, graph.Float16, hardware.Clocks{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestMeasurePeakOrinMatchesTable6(t *testing.T) {
 	}
 	for _, c := range cases {
 		clk := hardware.Clocks{GPUMHz: c.gpu, EMCMHz: c.emc, CPUClusters: 1}
-		res, err := MeasurePeak(plat, graph.Float16, clk, 1)
+		res, err := MeasurePeak(context.Background(), plat, graph.Float16, clk, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func TestMeasurePeakOrinMatchesTable6(t *testing.T) {
 
 func TestMeasuredModel(t *testing.T) {
 	plat, _ := hardware.Get("a100")
-	m, err := MeasuredModel(plat, graph.Float16, hardware.Clocks{}, 1)
+	m, err := MeasuredModel(context.Background(), plat, graph.Float16, hardware.Clocks{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

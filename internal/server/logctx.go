@@ -1,0 +1,36 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+
+	"proof/internal/obs"
+)
+
+// ctxHandler is a slog.Handler wrapper that injects per-request
+// correlation attributes from the context: the request ID assigned by
+// the middleware and the current obs span ID. Any context-aware log
+// call (InfoContext and friends) anywhere under a request handler then
+// carries both, so log lines join up with traces without every call
+// site threading IDs by hand.
+type ctxHandler struct {
+	slog.Handler
+}
+
+func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := requestID(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		rec.AddAttrs(slog.Uint64("span_id", sp.ID()))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{h.Handler.WithGroup(name)}
+}

@@ -1,119 +1,57 @@
 package server
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
+	"strconv"
 	"time"
+
+	"proof/internal/obs"
+	"proof/internal/profsession"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds, spanning
-// cache-hit microseconds to multi-second measured-mode profiles.
+// latencyBuckets are the request-latency histogram upper bounds in
+// seconds, spanning cache-hit microseconds to multi-second
+// measured-mode profiles.
 var latencyBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
-// metrics collects the server's observability counters and renders them
-// in the Prometheus text exposition format. A mutex-guarded map is
-// plenty at profiling-service request rates; nothing here is on the
-// per-layer hot path.
+// metrics is the server's view into the shared obs.Registry: the HTTP
+// edge counters it updates per request, plus the registration of every
+// gauge/counter owned elsewhere (admission control, the profiling
+// session) so the whole process lands on one /metrics page.
 type metrics struct {
-	mu sync.Mutex
-	// requests counts finished requests by (path, status code).
-	requests map[[2]string]int64
-	// histogram per path: bucket counts (cumulative at render time),
-	// sum and count.
-	hist map[string]*latencyHist
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	duration *obs.HistogramVec
 }
 
-type latencyHist struct {
-	buckets []int64 // len(latencyBuckets)+1; last slot is the +Inf overflow
-	sum     float64
-	count   int64
-}
-
-func newMetrics() *metrics {
-	return &metrics{
-		requests: make(map[[2]string]int64),
-		hist:     make(map[string]*latencyHist),
+// wireMetrics registers the server's metric families into reg. The
+// registry may be shared with (or pre-populated by) other subsystems;
+// registration is idempotent by family name.
+func wireMetrics(reg *obs.Registry, adm *admission, sess *profsession.Session) *metrics {
+	m := &metrics{
+		reg: reg,
+		requests: reg.CounterVec("proofd_requests_total",
+			"Finished HTTP requests by path and status code.", "path", "code"),
+		duration: reg.HistogramVec("proofd_request_duration_seconds",
+			"Request latency by path.", latencyBuckets, "path"),
 	}
+	reg.GaugeFunc("proofd_inflight_profiles",
+		"Profiling requests currently executing.",
+		func() float64 { return float64(adm.inflight.Load()) })
+	reg.GaugeFunc("proofd_inflight_high_water",
+		"Maximum concurrently executing profiling requests observed.",
+		func() float64 { return float64(adm.highWater.Load()) })
+	reg.GaugeFunc("proofd_queue_depth",
+		"Profiling requests waiting for an execution slot.",
+		func() float64 { return float64(adm.queued.Load()) })
+	reg.CounterFunc("proofd_admission_rejected_total",
+		"Profiling requests shed with 429.",
+		func() float64 { return float64(adm.rejected.Load()) })
+	profsession.RegisterMetrics(reg, "proofd", sess)
+	return m
 }
 
 // observe records one finished request.
 func (m *metrics) observe(path string, code int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[[2]string{path, fmt.Sprintf("%d", code)}]++
-	h := m.hist[path]
-	if h == nil {
-		h = &latencyHist{buckets: make([]int64, len(latencyBuckets)+1)}
-		m.hist[path] = h
-	}
-	secs := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, secs)
-	h.buckets[i]++
-	h.sum += secs
-	h.count++
-}
-
-// gauge is one point-in-time value appended by the server at render
-// time (admission inflight/queue depth, session counters).
-type gauge struct {
-	name  string
-	help  string
-	typ   string // "gauge" or "counter"
-	value float64
-}
-
-// write renders everything in the text exposition format, with stable
-// ordering so the output is diffable.
-func (m *metrics) write(w io.Writer, gauges []gauge) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintf(w, "# HELP proofd_requests_total Finished HTTP requests by path and status code.\n")
-	fmt.Fprintf(w, "# TYPE proofd_requests_total counter\n")
-	keys := make([][2]string, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
-	for _, k := range keys {
-		fmt.Fprintf(w, "proofd_requests_total{path=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
-	}
-
-	fmt.Fprintf(w, "# HELP proofd_request_duration_seconds Request latency by path.\n")
-	fmt.Fprintf(w, "# TYPE proofd_request_duration_seconds histogram\n")
-	paths := make([]string, 0, len(m.hist))
-	for p := range m.hist {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		h := m.hist[p]
-		var cum int64
-		for i, le := range latencyBuckets {
-			cum += h.buckets[i]
-			fmt.Fprintf(w, "proofd_request_duration_seconds_bucket{path=%q,le=%q} %d\n", p, trimFloat(le), cum)
-		}
-		cum += h.buckets[len(latencyBuckets)]
-		fmt.Fprintf(w, "proofd_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, cum)
-		fmt.Fprintf(w, "proofd_request_duration_seconds_sum{path=%q} %g\n", p, h.sum)
-		fmt.Fprintf(w, "proofd_request_duration_seconds_count{path=%q} %d\n", p, h.count)
-	}
-
-	for _, g := range gauges {
-		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
-		fmt.Fprintf(w, "# TYPE %s %s\n", g.name, g.typ)
-		fmt.Fprintf(w, "%s %g\n", g.name, g.value)
-	}
-}
-
-// trimFloat formats a bucket bound without trailing zeros ("0.005").
-func trimFloat(f float64) string {
-	return fmt.Sprintf("%g", f)
+	m.requests.With(path, strconv.Itoa(code)).Inc()
+	m.duration.With(path).ObserveDuration(d)
 }

@@ -27,6 +27,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -38,6 +39,7 @@ import (
 	"proof/internal/graph"
 	"proof/internal/hardware"
 	"proof/internal/models"
+	"proof/internal/obs"
 	"proof/internal/profsession"
 )
 
@@ -63,8 +65,17 @@ type Config struct {
 	// ShutdownTimeout bounds the graceful drain (0 = 15s).
 	ShutdownTimeout time.Duration
 	// Logger receives one structured line per request (nil = JSON to
-	// stderr).
+	// stderr). The server wraps the handler so request ID and root
+	// span ID ride along on context-aware log calls.
 	Logger *slog.Logger
+	// Registry is the shared metrics registry (nil = a fresh one).
+	// Passing a process-wide registry lets proofd's HTTP edge, the
+	// profiling session and the pipeline stage timings land on one
+	// /metrics page.
+	Registry *obs.Registry
+	// TraceRingSize bounds the recent request traces retained for
+	// GET /debug/traces (0 = 16).
+	TraceRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +103,12 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
+	if _, ok := c.Logger.Handler().(ctxHandler); !ok {
+		c.Logger = slog.New(ctxHandler{c.Logger.Handler()})
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
 	return c
 }
 
@@ -102,6 +119,7 @@ type Server struct {
 	sess     *profsession.Session
 	adm      *admission
 	metrics  *metrics
+	traces   *obs.Ring
 	log      *slog.Logger
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -118,10 +136,11 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		sess:     cfg.Session,
 		adm:      newAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
-		metrics:  newMetrics(),
+		traces:   obs.NewRing(cfg.TraceRingSize),
 		log:      cfg.Logger,
 		idPrefix: hex.EncodeToString(b[:]),
 	}
+	s.metrics = wireMetrics(cfg.Registry, s.adm, s.sess)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
@@ -129,6 +148,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint %q", r.URL.Path))
 	})
@@ -138,7 +158,10 @@ func New(cfg Config) *Server {
 // Session returns the shared profiling session (for stats inspection).
 func (s *Server) Session() *profsession.Session { return s.sess }
 
-// Handler returns the full middleware-wrapped handler.
+// Handler returns the full middleware-wrapped handler. Profiling
+// endpoints run under a per-request obs.Tracer whose finished trace
+// lands in the /debug/traces ring and feeds the per-stage latency
+// histograms; other endpoints pay nothing.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -148,7 +171,17 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("X-Request-ID", id)
 		rw := &statusWriter{ResponseWriter: w}
-		r = r.WithContext(withRequestID(r.Context(), id))
+		ctx := withRequestID(r.Context(), id)
+		var tr *obs.Tracer
+		var root *obs.Span
+		if traced(r.URL.Path) {
+			tr = obs.NewTracer(id)
+			ctx = obs.WithTracer(ctx, tr)
+			ctx, root = obs.Start(ctx, "request")
+			root.SetAttr("method", r.Method)
+			root.SetAttr("path", r.URL.Path)
+		}
+		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 		s.mux.ServeHTTP(rw, r)
@@ -159,6 +192,13 @@ func (s *Server) Handler() http.Handler {
 		}
 		d := time.Since(start)
 		s.metrics.observe(metricPath(r.URL.Path), code, d)
+		if tr != nil {
+			root.SetAttrInt("status", int64(code))
+			root.End()
+			trace := tr.Snapshot()
+			s.traces.Add(trace)
+			obs.ObserveStages(s.metrics.reg, "proofd", trace)
+		}
 		attrs := []any{
 			"id", id,
 			"method", r.Method,
@@ -170,15 +210,21 @@ func (s *Server) Handler() http.Handler {
 		if cache := rw.Header().Get("X-Cache"); cache != "" {
 			attrs = append(attrs, "cache", cache)
 		}
-		s.log.Info("request", attrs...)
+		s.log.InfoContext(ctx, "request", attrs...)
 	})
+}
+
+// traced selects the endpoints that run under a per-request tracer:
+// the ones that execute the pipeline.
+func traced(path string) bool {
+	return path == "/v1/profile" || path == "/v1/sweep"
 }
 
 // metricPath collapses unknown paths into one label value so a URL
 // scanner cannot explode the metrics cardinality.
 func metricPath(p string) string {
 	switch p {
-	case "/v1/profile", "/v1/sweep", "/v1/models", "/v1/platforms", "/healthz", "/metrics":
+	case "/v1/profile", "/v1/sweep", "/v1/models", "/v1/platforms", "/healthz", "/metrics", "/debug/traces":
 		return p
 	}
 	return "other"
@@ -425,7 +471,37 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Cache", string(outcome))
+	if r.URL.Query().Get("trace") == "1" {
+		s.writeJSON(w, http.StatusOK, TracedProfileResponse{
+			Report: report,
+			Trace:  chromeTrace(ctx),
+		})
+		return
+	}
 	s.writeJSON(w, http.StatusOK, report)
+}
+
+// TracedProfileResponse is the POST /v1/profile?trace=1 body: the
+// report plus the request's pipeline trace in the Chrome trace-event
+// format (load the trace value in Perfetto / chrome://tracing).
+type TracedProfileResponse struct {
+	Report *core.Report    `json:"report"`
+	Trace  json.RawMessage `json:"trace,omitempty"`
+}
+
+// chromeTrace snapshots the request's tracer as Chrome trace JSON
+// (nil when the request is untraced — only spans finished so far are
+// included, which at response time is the whole pipeline).
+func chromeTrace(ctx context.Context) json.RawMessage {
+	tr := obs.TracerFrom(ctx)
+	if tr == nil {
+		return nil
+	}
+	raw, err := tr.Snapshot().ChromeJSON()
+	if err != nil {
+		return nil
+	}
+	return raw
 }
 
 // SweepRequest is the POST /v1/sweep body.
@@ -535,22 +611,69 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	st := s.sess.Stats()
-	gauges := []gauge{
-		{"proofd_inflight_profiles", "Profiling requests currently executing.", "gauge", float64(s.adm.inflight.Load())},
-		{"proofd_inflight_high_water", "Maximum concurrently executing profiling requests observed.", "gauge", float64(s.adm.highWater.Load())},
-		{"proofd_queue_depth", "Profiling requests waiting for an execution slot.", "gauge", float64(s.adm.queued.Load())},
-		{"proofd_admission_rejected_total", "Profiling requests shed with 429.", "counter", float64(s.adm.rejected.Load())},
-		{"proofd_session_hits_total", "Session report-cache hits.", "counter", float64(st.Hits)},
-		{"proofd_session_misses_total", "Session report-cache misses (pipeline executions).", "counter", float64(st.Misses)},
-		{"proofd_session_dedups_total", "Requests served by an identical in-flight execution.", "counter", float64(st.Dedups)},
-		{"proofd_session_evictions_total", "Reports evicted from the session cache.", "counter", float64(st.Evictions)},
-		{"proofd_session_cache_size", "Reports currently cached.", "gauge", float64(st.Size)},
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	s.metrics.write(w, gauges)
+	s.metrics.reg.WritePrometheus(w)
 }
+
+// TracesResponse is the GET /debug/traces body: the most recent
+// profiling-request traces, newest first.
+type TracesResponse struct {
+	// Capacity is the ring's retention bound; Total counts every trace
+	// ever recorded (including evicted ones).
+	Capacity int        `json:"capacity"`
+	Total    uint64     `json:"total"`
+	Traces   []obsTrace `json:"traces"`
+}
+
+// obsTrace is one ring entry with its span data and a summary line.
+type obsTrace struct {
+	Name       string         `json:"name"`
+	Began      time.Time      `json:"began"`
+	DurationNS time.Duration  `json:"duration_ns"`
+	SpanCount  int            `json:"span_count"`
+	Dropped    int            `json:"dropped,omitempty"`
+	Spans      []obs.SpanData `json:"spans"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := TracesResponse{
+		Capacity: s.traces.Capacity(),
+		Total:    s.traces.Total(),
+		Traces:   []obsTrace{},
+	}
+	for _, t := range s.traces.Snapshot() {
+		resp.Traces = append(resp.Traces, obsTrace{
+			Name:       t.Name,
+			Began:      t.Began,
+			DurationNS: t.Duration(),
+			SpanCount:  len(t.Spans),
+			Dropped:    t.Dropped,
+			Spans:      t.Spans,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// DebugHandler returns the opt-in debug mux: net/http/pprof plus the
+// trace ring. It is never mounted on the public mux — proofd serves it
+// only when started with -debug-addr, on a separate (private) listener.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	return mux
+}
+
+// Registry returns the shared metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // ---- lifecycle ----
 

@@ -39,6 +39,7 @@ import (
 	"proof/internal/hardware"
 	"proof/internal/modelfmt"
 	"proof/internal/models"
+	"proof/internal/obs"
 	"proof/internal/onnx"
 	"proof/internal/power"
 	"proof/internal/profsession"
@@ -138,6 +139,32 @@ type ServerConfig = server.Config
 // (*Server).ListenAndServe(ctx, addr); cancelling ctx starts a graceful
 // drain.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Tracer records the nested spans of one traced profiling run
+// (pipeline stages, backend build internals, sweep fan-out workers).
+// Install it with WithTracer; a context without a tracer profiles with
+// zero overhead.
+type Tracer = obs.Tracer
+
+// Trace is a snapshot of a Tracer's finished spans; WriteChrome
+// exports it in the Chrome trace-event format for Perfetto /
+// chrome://tracing.
+type Trace = obs.Trace
+
+// NewTracer creates an enabled tracer; name labels the whole trace.
+func NewTracer(name string) *Tracer { return obs.NewTracer(name) }
+
+// WithTracer returns a context that records pipeline spans into t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.WithTracer(ctx, t)
+}
+
+// MetricsRegistry is the shared counters/gauges/histograms registry
+// (Prometheus text exposition) used by proofd and the CLIs.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Models lists the model zoo (all Table 3 models plus the peak test).
 func Models() []ModelInfo { return models.List() }
@@ -360,5 +387,5 @@ func MeasurePeak(platform string, dt DataType, clk Clocks) (PeakResult, error) {
 	if err != nil {
 		return PeakResult{}, err
 	}
-	return roofline.MeasurePeak(plat, dt, clk, 1)
+	return roofline.MeasurePeak(context.Background(), plat, dt, clk, 1)
 }
