@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	// A fixture tree with known violations exits 1.
+	if got := run([]string{"../../internal/lint/testdata/src/lockedcall"}); got != 1 {
+		t.Errorf("dirty tree: exit = %d, want 1", got)
+	}
+	// A clean tree exits 0.
+	clean := t.TempDir()
+	if err := os.WriteFile(filepath.Join(clean, "p.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{clean}); got != 0 {
+		t.Errorf("clean tree: exit = %d, want 0", got)
+	}
+	// An unreadable pattern exits 2.
+	if got := run([]string{filepath.Join(clean, "missing")}); got != 2 {
+		t.Errorf("missing dir: exit = %d, want 2", got)
+	}
+	// -list exits 0 without loading anything.
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("-list: exit = %d, want 0", got)
+	}
+}

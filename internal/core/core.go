@@ -231,6 +231,17 @@ func profilePipeline(ctx context.Context, opts Options, pipe *obs.Span) (*Report
 		modelName = g.Name
 	}
 
+	// Static model verification gates the rest of the pipeline: every
+	// backend and cost pass may assume the IR is structurally sound
+	// (references resolve, one producer per tensor, acyclic, shapes
+	// consistent). The typed *graph.ValidationError survives the wrap,
+	// so proofd can answer 400 invalid_model instead of a 500.
+	if err := g.Validate(); err != nil {
+		err = fmt.Errorf("core: invalid model graph: %w", err)
+		msp.EndErr(err)
+		return nil, err
+	}
+
 	if graphops.IsQuantized(g) {
 		// Explicitly quantized graphs (Q/DQ boundary nodes) keep
 		// their tensor types and run on the int8 math units.

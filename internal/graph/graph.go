@@ -196,54 +196,6 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
-// Validate checks structural invariants: unique node names, unique output
-// producers, all referenced tensors registered, graph inputs/outputs
-// present, and acyclicity.
-func (g *Graph) Validate() error {
-	names := make(map[string]bool, len(g.Nodes))
-	produced := make(map[string]string)
-	for _, n := range g.Nodes {
-		if n.Name == "" {
-			return fmt.Errorf("graph %s: node with empty name (%s)", g.Name, n.OpType)
-		}
-		if names[n.Name] {
-			return fmt.Errorf("graph %s: duplicate node name %q", g.Name, n.Name)
-		}
-		names[n.Name] = true
-		for _, o := range n.Outputs {
-			if prev, ok := produced[o]; ok {
-				return fmt.Errorf("graph %s: tensor %q produced by both %q and %q", g.Name, o, prev, n.Name)
-			}
-			produced[o] = n.Name
-			if g.Tensors[o] == nil {
-				return fmt.Errorf("graph %s: node %q output tensor %q not registered", g.Name, n.Name, o)
-			}
-		}
-		for _, i := range n.Inputs {
-			if g.Tensors[i] == nil {
-				return fmt.Errorf("graph %s: node %q input tensor %q not registered", g.Name, n.Name, i)
-			}
-		}
-	}
-	for _, in := range g.Inputs {
-		if g.Tensors[in] == nil {
-			return fmt.Errorf("graph %s: graph input %q not registered", g.Name, in)
-		}
-	}
-	for _, out := range g.Outputs {
-		if g.Tensors[out] == nil {
-			return fmt.Errorf("graph %s: graph output %q not registered", g.Name, out)
-		}
-		if produced[out] == "" {
-			return fmt.Errorf("graph %s: graph output %q has no producer", g.Name, out)
-		}
-	}
-	if _, err := g.TopoSort(); err != nil {
-		return err
-	}
-	return nil
-}
-
 // TopoSort returns the nodes in a topological order (inputs before
 // consumers). Among ready nodes, declaration order wins, so the result
 // preserves the builder's program order: a Constant declared next to its

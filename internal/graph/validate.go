@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValidationCode identifies one class of structural corruption a graph
+// can carry. The codes are stable wire-friendly strings: proofd's
+// invalid_model responses carry them verbatim, and tests assert on
+// them rather than on message text.
+type ValidationCode string
+
+const (
+	// ErrEmptyNodeName: a node has no name.
+	ErrEmptyNodeName ValidationCode = "empty_node_name"
+	// ErrDuplicateNode: two nodes share a name.
+	ErrDuplicateNode ValidationCode = "duplicate_node"
+	// ErrMultiProducer: two nodes produce the same tensor.
+	ErrMultiProducer ValidationCode = "multi_producer"
+	// ErrDanglingTensor: a node or the graph IO list references a
+	// tensor that is not registered.
+	ErrDanglingTensor ValidationCode = "dangling_tensor"
+	// ErrMissingProducer: a graph output is neither produced by a node
+	// nor a graph input.
+	ErrMissingProducer ValidationCode = "missing_producer"
+	// ErrCycle: the dataflow graph is not acyclic.
+	ErrCycle ValidationCode = "cycle"
+	// ErrBadTensor: a registered tensor is internally inconsistent —
+	// registered under a different name than it carries, nil, a known
+	// shape with a non-positive dimension, a parameter without a
+	// concrete shape or element type, or constant int data whose
+	// length contradicts the shape.
+	ErrBadTensor ValidationCode = "bad_tensor"
+	// ErrShapeContradiction: declared tensor shapes contradict what
+	// the operator semantics imply (an element-wise op whose known
+	// input and output ranks differ, or element-wise binary inputs
+	// that do not broadcast).
+	ErrShapeContradiction ValidationCode = "shape_contradiction"
+	// ErrUnusedParam: a parameter (initializer) tensor is consumed by
+	// no node and is not a graph output — dead weight that skews the
+	// memory-access model.
+	ErrUnusedParam ValidationCode = "unused_param"
+)
+
+// ValidationError is one structural defect found by Validate. It is a
+// typed error so callers (core's pipeline, proofd's HTTP edge) can
+// distinguish "the model is broken" from "the profiler is broken" and
+// answer with a structured 400 instead of an opaque 500.
+type ValidationError struct {
+	Code   ValidationCode `json:"code"`
+	Graph  string         `json:"graph,omitempty"`
+	Node   string         `json:"node,omitempty"`
+	Tensor string         `json:"tensor,omitempty"`
+	Detail string         `json:"detail"`
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("graph %s: %s", e.Graph, e.Detail)
+}
+
+// AsValidationError unwraps err to the *ValidationError it carries, if
+// any.
+func AsValidationError(err error) (*ValidationError, bool) {
+	var v *ValidationError
+	if errors.As(err, &v) {
+		return v, true
+	}
+	return nil, false
+}
+
+// Validate checks the graph's structural invariants and returns the
+// first defect found (as a *ValidationError), or nil. See ValidateAll
+// for the full check list.
+func (g *Graph) Validate() error {
+	if errs := g.ValidateAll(); len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// ValidateAll runs the full structural verification and returns every
+// defect found: node-name uniqueness, single-producer consistency,
+// dangling tensor references, graph IO registration and producedness,
+// per-tensor sanity (name/registration agreement, positive dimensions,
+// concrete parameter shapes and dtypes, int-data length), element-wise
+// shape-rank contradictions against the declared shapes, unused
+// initializers, and acyclicity. Checks that only make sense on fully
+// shaped tensors are skipped for tensors whose shape is still unknown,
+// so ValidateAll is safe both before and after shape inference.
+func (g *Graph) ValidateAll() []*ValidationError {
+	var errs []*ValidationError
+	report := func(code ValidationCode, node, tensor, format string, args ...any) {
+		errs = append(errs, &ValidationError{
+			Code: code, Graph: g.Name, Node: node, Tensor: tensor,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Node pass: names, producer uniqueness, tensor references.
+	names := make(map[string]bool, len(g.Nodes))
+	produced := make(map[string]string)
+	for _, n := range g.Nodes {
+		if n.Name == "" {
+			report(ErrEmptyNodeName, "", "", "node with empty name (%s)", n.OpType)
+			continue
+		}
+		if names[n.Name] {
+			report(ErrDuplicateNode, n.Name, "", "duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		for _, o := range n.Outputs {
+			if prev, ok := produced[o]; ok {
+				report(ErrMultiProducer, n.Name, o,
+					"tensor %q produced by both %q and %q", o, prev, n.Name)
+			}
+			produced[o] = n.Name
+			if g.Tensors[o] == nil {
+				report(ErrDanglingTensor, n.Name, o,
+					"node %q output tensor %q not registered", n.Name, o)
+			}
+		}
+		for _, i := range n.Inputs {
+			if g.Tensors[i] == nil {
+				report(ErrDanglingTensor, n.Name, i,
+					"node %q input tensor %q not registered", n.Name, i)
+			}
+		}
+	}
+
+	// Graph IO pass.
+	inputs := make(map[string]bool, len(g.Inputs))
+	for _, in := range g.Inputs {
+		inputs[in] = true
+		if g.Tensors[in] == nil {
+			report(ErrDanglingTensor, "", in, "graph input %q not registered", in)
+		}
+	}
+	outputs := make(map[string]bool, len(g.Outputs))
+	for _, out := range g.Outputs {
+		outputs[out] = true
+		if g.Tensors[out] == nil {
+			report(ErrDanglingTensor, "", out, "graph output %q not registered", out)
+			continue
+		}
+		if produced[out] == "" && !inputs[out] {
+			report(ErrMissingProducer, "", out, "graph output %q has no producer", out)
+		}
+	}
+
+	// Tensor sanity pass.
+	for key, t := range g.Tensors {
+		if t == nil {
+			report(ErrBadTensor, "", key, "tensor %q registered as nil", key)
+			continue
+		}
+		if t.Name != key {
+			report(ErrBadTensor, "", key,
+				"tensor registered under %q carries name %q", key, t.Name)
+		}
+		if t.Shape != nil {
+			for _, d := range t.Shape {
+				if d <= 0 {
+					report(ErrBadTensor, "", key,
+						"tensor %q has non-positive dimension in shape %v", key, t.Shape)
+					break
+				}
+			}
+		}
+		if t.Param {
+			if !t.Shape.Valid() {
+				report(ErrBadTensor, "", key,
+					"parameter tensor %q has no concrete shape (%v)", key, t.Shape)
+			}
+			if !t.DType.Valid() {
+				report(ErrBadTensor, "", key,
+					"parameter tensor %q has invalid dtype %v", key, t.DType)
+			}
+		}
+		if t.IntData != nil && t.Shape.Valid() && int64(len(t.IntData)) != t.Shape.NumElements() {
+			report(ErrBadTensor, "", key,
+				"tensor %q carries %d int values for shape %v (%d elements)",
+				key, len(t.IntData), t.Shape, t.Shape.NumElements())
+		}
+	}
+
+	// Unused initializers: params no node consumes and the graph does
+	// not output. (Activations may legitimately dangle — builders and
+	// optimizers leave unconsumed intermediates — but dead weights
+	// inflate ParamBytes and the Eq. 1 memory model.)
+	consumed := make(map[string]bool)
+	for _, n := range g.Nodes {
+		for _, i := range n.Inputs {
+			consumed[i] = true
+		}
+	}
+	for _, key := range g.SortedTensorNames() {
+		t := g.Tensors[key]
+		if t == nil || !t.Param {
+			continue
+		}
+		if !consumed[key] && !outputs[key] {
+			report(ErrUnusedParam, "", key,
+				"parameter tensor %q is consumed by no node", key)
+		}
+	}
+
+	// Shape-contradiction pass: element-wise operator semantics pin
+	// output ranks to input ranks; declared shapes that disagree can
+	// only come from a corrupt file or a buggy builder. Tensors with
+	// unknown (nil) shapes are skipped — inference has not run yet.
+	for _, n := range g.Nodes {
+		switch {
+		case elementwiseUnary[n.OpType]:
+			if len(n.Inputs) == 0 || len(n.Outputs) == 0 {
+				continue
+			}
+			in, out := g.Tensors[n.Inputs[0]], g.Tensors[n.Outputs[0]]
+			if in == nil || out == nil || in.Shape == nil || out.Shape == nil {
+				continue
+			}
+			if in.Shape.Rank() != out.Shape.Rank() {
+				report(ErrShapeContradiction, n.Name, n.Outputs[0],
+					"%s node %q: input %v and output %v disagree in rank",
+					n.OpType, n.Name, in.Shape, out.Shape)
+			}
+		case elementwiseBinary[n.OpType]:
+			if len(n.Inputs) < 2 || len(n.Outputs) == 0 {
+				continue
+			}
+			a, b := g.Tensors[n.Inputs[0]], g.Tensors[n.Inputs[1]]
+			if a == nil || b == nil || a.Shape == nil || b.Shape == nil {
+				continue
+			}
+			bc, err := broadcast(a.Shape, b.Shape)
+			if err != nil {
+				report(ErrShapeContradiction, n.Name, n.Inputs[0],
+					"%s node %q: inputs %v and %v do not broadcast",
+					n.OpType, n.Name, a.Shape, b.Shape)
+				continue
+			}
+			if out := g.Tensors[n.Outputs[0]]; out != nil && out.Shape != nil &&
+				out.Shape.Rank() != bc.Rank() {
+				report(ErrShapeContradiction, n.Name, n.Outputs[0],
+					"%s node %q: output %v contradicts broadcast shape %v",
+					n.OpType, n.Name, out.Shape, bc)
+			}
+		}
+	}
+
+	// Acyclicity — only meaningful once every reference resolves;
+	// TopoSort on a graph with dangling refs would double-report.
+	if len(errs) == 0 {
+		if _, err := g.TopoSort(); err != nil {
+			report(ErrCycle, "", "", "%v", cycleDetail(err, g.Name))
+		}
+	}
+	return errs
+}
+
+// cycleDetail strips the "graph <name>: " prefix TopoSort puts on its
+// error so the ValidationError formatting does not repeat it.
+func cycleDetail(err error, name string) string {
+	s := err.Error()
+	prefix := fmt.Sprintf("graph %s: ", name)
+	if len(s) > len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):]
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// isPkgCall reports whether call is syntactically pkg.name(...), e.g.
+// obs.Start or time.Sleep. Without type information a shadowed "obs"
+// identifier would fool this; the repo's convention of never shadowing
+// package names keeps that theoretical.
+func isPkgCall(call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg && sel.Sel.Name == name
+}
+
+// methodName returns the selector name of a method-style call
+// (anything of the form expr.Name(...)), or "".
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// recvIdent returns the receiver identifier of a call x.Name(...)
+// when the receiver is a plain identifier, or nil (e.g. for
+// s.mu.Lock() it returns nil; use recvPath for dotted receivers).
+func recvIdent(call *ast.CallExpr) *ast.Ident {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, _ := sel.X.(*ast.Ident)
+	return id
+}
+
+// recvPath renders the receiver expression of a method call as a
+// dotted path ("s.mu", "mu"), or "" when it is not a pure
+// identifier/selector chain.
+func recvPath(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return exprPath(sel.X)
+}
+
+// exprPath renders an identifier/selector chain ("a.b.c"), or "".
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// walkSameFunc visits the subtree under n without descending into
+// nested function literals: the traversal sees exactly the code that
+// runs as part of the enclosing function's own activation, not code
+// that a closure may run later (or never).
+func walkSameFunc(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok && node != n {
+			return false
+		}
+		return fn(node)
+	})
+}
+
+// funcBodies yields every function body in a file — top-level
+// declarations and nested literals — paired with a printable name.
+func funcBodies(f *ast.File, visit func(name string, fn ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Name.Name, fn, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit("func literal", fn, fn.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// fatalMethods are the testing.T/testing.B methods that call
+// runtime.Goexit. From any goroutine other than the one running the
+// test function, Goexit kills that goroutine silently instead of
+// failing the test — the documented testing-package footgun that
+// turns a detected failure into a hang or a false pass.
+var fatalMethods = map[string]bool{
+	"Fatal":   true,
+	"Fatalf":  true,
+	"FailNow": true,
+	"Skip":    true,
+	"Skipf":   true,
+	"SkipNow": true,
+}
+
+// testRecvNames are the conventional identifiers for *testing.T,
+// *testing.B and testing.TB values. Syntax-only analysis cannot see
+// the type, so the convention stands in for it.
+var testRecvNames = map[string]bool{"t": true, "b": true, "tb": true}
+
+// GoroutineTest flags t.Fatal-family calls inside goroutines launched
+// from _test.go files.
+type GoroutineTest struct{}
+
+// NewGoroutineTest builds the analyzer.
+func NewGoroutineTest() *GoroutineTest { return &GoroutineTest{} }
+
+func (*GoroutineTest) Name() string { return "goroutinetest" }
+func (*GoroutineTest) Doc() string {
+	return "t.Fatal/FailNow/Skip inside a test goroutine kills the goroutine, not the test; use t.Error + return"
+}
+
+func (a *GoroutineTest) Check(f *File, r *Reporter) {
+	if !f.Test {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		// Inspect the spawned function's entire subtree: a Fatal in a
+		// closure nested under the goroutine still runs on the wrong
+		// goroutine.
+		ast.Inspect(g.Call, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !fatalMethods[methodName(call)] {
+				return true
+			}
+			if id := recvIdent(call); id != nil && testRecvNames[id.Name] {
+				r.Report(call.Pos(),
+					"%s.%s inside a goroutine exits the goroutine, not the test; use %s.Error and return",
+					id.Name, methodName(call), id.Name)
+			}
+			return true
+		})
+		return true
+	})
+}

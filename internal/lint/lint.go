@@ -1,0 +1,395 @@
+// Package lint is prooflint's engine: a small, stdlib-only
+// static-analysis framework (go/ast, go/parser, go/token — no
+// go/types, no x/tools) plus this repo's project-specific analyzers.
+//
+// The framework half is generic: it walks package directories, parses
+// files through a per-file AST cache, runs every analyzer over every
+// file, applies //lint:ignore suppression directives, and returns
+// position-sorted diagnostics. The analyzer half encodes pipeline
+// invariants the compiler cannot check — context plumbing, span
+// lifecycle, metric naming, test-goroutine discipline, and blocking
+// calls under mutexes (see the *Analyzer constructors).
+//
+// Because there is no type checker, analyzers match syntax: obs.Start
+// is "a call to selector Start on identifier obs", not "the function
+// proof/internal/obs.Start". That trade keeps the tool dependency-free
+// and fast, at the cost of being fooled by shadowed identifiers — an
+// acceptable deal for a repo that controls its own naming conventions.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Diagnostic is one analyzer finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the go-vet-style line "path:line:col: analyzer: msg".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file handed to analyzers.
+type File struct {
+	// Path is the file path as loaded (relative paths stay relative so
+	// diagnostics are stable across machines).
+	Path string
+	Fset *token.FileSet
+	AST  *ast.File
+	// Test records whether this is a _test.go file; several analyzers
+	// loosen or tighten their rules for tests.
+	Test bool
+	// Pkg is the package this file belongs to.
+	Pkg *Package
+
+	// ignores maps source lines to suppression directives.
+	ignores map[int]*ignoreDirective
+}
+
+// Package groups the files of one directory.
+type Package struct {
+	// Dir is the package directory with forward slashes.
+	Dir string
+	// Name is the package name from the first parsed file.
+	Name  string
+	Files []*File
+}
+
+// Analyzer is one lint pass. Check is called once per file; analyzers
+// that need cross-file state keep it between calls and may implement
+// Finisher to report after every file has been seen.
+type Analyzer interface {
+	// Name is the short identifier used in diagnostics and
+	// //lint:ignore directives.
+	Name() string
+	// Doc is the one-line description shown by prooflint -list.
+	Doc() string
+	Check(f *File, r *Reporter)
+}
+
+// Finisher is implemented by analyzers that emit diagnostics only
+// after seeing the whole load set (e.g. cross-package duplicate
+// detection).
+type Finisher interface {
+	Finish(r *Reporter)
+}
+
+// Reporter collects diagnostics for one analyzer. During Check it is
+// bound to the current file; during Finish analyzers report with the
+// positions they captured earlier.
+type Reporter struct {
+	analyzer string
+	file     *File
+	diags    *[]Diagnostic
+}
+
+// Report records a diagnostic at a position in the current file.
+func (r *Reporter) Report(pos token.Pos, format string, args ...any) {
+	r.ReportAt(r.file.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a diagnostic at an already-resolved position (the
+// Finish-phase entry point).
+func (r *Reporter) ReportAt(pos token.Position, format string, args ...any) {
+	*r.diags = append(*r.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: r.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ---- AST cache ----
+
+// cacheEntry is one parsed file plus the stat fingerprint it was
+// parsed under.
+type cacheEntry struct {
+	size    int64
+	modTime int64
+	fset    *token.FileSet
+	ast     *ast.File
+	err     error
+}
+
+// astCache memoizes parses by path, invalidated by (size, mtime).
+// prooflint parses each file once per run regardless of how many
+// patterns or analyzers touch it, and long-lived callers (tests, a
+// future watch mode) reparse only files that changed.
+type astCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+func newASTCache() *astCache { return &astCache{m: map[string]*cacheEntry{}} }
+
+// parse returns the cached AST for path, parsing on miss or when the
+// file changed since the cached parse.
+func (c *astCache) parse(path string) (*token.FileSet, *ast.File, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[path]; ok && e.size == info.Size() && e.modTime == info.ModTime().UnixNano() {
+		return e.fset, e.ast, e.err
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	c.m[path] = &cacheEntry{
+		size:    info.Size(),
+		modTime: info.ModTime().UnixNano(),
+		fset:    fset,
+		ast:     f,
+		err:     err,
+	}
+	return fset, f, err
+}
+
+// ---- loading ----
+
+// Loader walks directory patterns into Packages through a shared AST
+// cache. The zero value is not usable; construct with NewLoader.
+type Loader struct {
+	cache *astCache
+}
+
+// NewLoader returns a Loader with an empty cache.
+func NewLoader() *Loader { return &Loader{cache: newASTCache()} }
+
+// skipDir reports whether a directory is outside the load set:
+// testdata trees (lint fixtures are deliberately broken), vendored or
+// generated trees, and hidden/underscore directories, matching the go
+// tool's package-walking rules.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// Load resolves patterns into parsed packages. A pattern is either a
+// directory or a recursive "dir/..." form; "./..." loads the whole
+// tree. Directories without Go files are skipped silently; parse
+// failures abort the load (a repo that does not parse cannot be
+// linted).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	var order []string
+	addDir := func(dir string) {
+		dir = filepath.ToSlash(filepath.Clean(dir))
+		if !dirs[dir] {
+			dirs[dir] = true
+			order = append(order, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				if path != root && skipDir(d.Name()) {
+					return fs.SkipDir
+				}
+				addDir(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		addDir(pat)
+	}
+	sort.Strings(order)
+
+	var pkgs []*Package
+	for _, dir := range order {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses one directory into a Package (nil when it holds no
+// Go files).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: filepath.ToSlash(dir)}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		fset, astf, err := l.cache.parse(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		f := &File{
+			Path: filepath.ToSlash(path),
+			Fset: fset,
+			AST:  astf,
+			Test: strings.HasSuffix(e.Name(), "_test.go"),
+			Pkg:  pkg,
+		}
+		pkg.Files = append(pkg.Files, f)
+		if pkg.Name == "" && !f.Test {
+			pkg.Name = astf.Name.Name
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	if pkg.Name == "" {
+		pkg.Name = pkg.Files[0].AST.Name.Name
+	}
+	return pkg, nil
+}
+
+// ---- suppression ----
+
+// ignoreDirective is one parsed "//lint:ignore <analyzers> <reason>"
+// comment. Analyzers is a comma-separated list or "all".
+type ignoreDirective struct {
+	analyzers map[string]bool
+	all       bool
+}
+
+func (d *ignoreDirective) matches(analyzer string) bool {
+	return d.all || d.analyzers[analyzer]
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores indexes a file's //lint:ignore directives by line and
+// reports malformed ones as diagnostics from the "lint" pseudo
+// analyzer — a directive that silently fails to parse would silently
+// fail to suppress.
+func (f *File) parseIgnores(diags *[]Diagnostic) {
+	f.ignores = map[int]*ignoreDirective{}
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			pos := f.Fset.Position(c.Pos())
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:ignoreXYZ — not our directive
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "lint",
+					Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer|all> <reason>\"",
+				})
+				continue
+			}
+			dir := &ignoreDirective{analyzers: map[string]bool{}}
+			for _, name := range strings.Split(fields[0], ",") {
+				if name == "all" {
+					dir.all = true
+					continue
+				}
+				dir.analyzers[name] = true
+			}
+			f.ignores[pos.Line] = dir
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic is covered by a directive on
+// its own line or the line directly above it.
+func (f *File) suppressed(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := f.ignores[line]; ok && dir.matches(d.Analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- running ----
+
+// Run executes analyzers over pkgs and returns the surviving
+// diagnostics sorted by position. Suppression applies to analyzer
+// diagnostics only; malformed-directive diagnostics cannot be ignored.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var all []Diagnostic
+	byPath := map[string]*File{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			f.parseIgnores(&all)
+			byPath[f.Path] = f
+		}
+	}
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				r := &Reporter{analyzer: a.Name(), file: f, diags: &diags}
+				a.Check(f, r)
+			}
+		}
+		if fin, ok := a.(Finisher); ok {
+			fin.Finish(&Reporter{analyzer: a.Name(), diags: &diags})
+		}
+		for _, d := range diags {
+			if f, ok := byPath[filepath.ToSlash(d.Pos.Filename)]; ok && f.suppressed(d) {
+				continue
+			}
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// All returns the full project analyzer suite in a stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		NewCtxFirst(),
+		NewSpanEnd(),
+		NewMetricName(),
+		NewGoroutineTest(),
+		NewLockedCall(),
+	}
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runFixture loads a fixture tree, runs one analyzer, and compares
+// the rendered diagnostics against testdata/<name>.golden.
+func runFixture(t *testing.T, name string, a Analyzer, patterns ...string) {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"testdata/src/" + name}
+	}
+	pkgs, err := NewLoader().Load(patterns...)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s loaded no packages", name)
+	}
+	var buf bytes.Buffer
+	for _, d := range Run(pkgs, []Analyzer{a}) {
+		fmt.Fprintln(&buf, d)
+	}
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("diagnostics differ from %s (re-run with -update after verifying)\n--- got ---\n%s--- want ---\n%s",
+			golden, buf.String(), want)
+	}
+	// Every fixture must actually exercise its analyzer.
+	if !strings.Contains(buf.String(), a.Name()+":") {
+		t.Errorf("fixture %s produced no %s diagnostics", name, a.Name())
+	}
+}
+
+func TestCtxFirstGolden(t *testing.T) {
+	runFixture(t, "ctxfirst", NewCtxFirst("testdata/src/ctxfirst"))
+}
+
+func TestSpanEndGolden(t *testing.T) { runFixture(t, "spanend", NewSpanEnd()) }
+
+func TestMetricNameGolden(t *testing.T) {
+	runFixture(t, "metricname", NewMetricName(), "testdata/src/metricname/...")
+}
+
+func TestGoroutineTestGolden(t *testing.T) { runFixture(t, "goroutinetest", NewGoroutineTest()) }
+
+func TestLockedCallGolden(t *testing.T) { runFixture(t, "lockedcall", NewLockedCall()) }
+
+// TestAllAnalyzers locks the suite shape: five analyzers, unique
+// names, documented.
+func TestAllAnalyzers(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name() == "" || a.Doc() == "" {
+			t.Errorf("analyzer %T lacks name or doc", a)
+		}
+		if seen[a.Name()] {
+			t.Errorf("duplicate analyzer name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}
+
+// writeTree materializes files into a temp dir and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestSuppression covers the //lint:ignore contract: same-line and
+// preceding-line placement, "all", analyzer lists, and non-matching
+// analyzers staying live.
+func TestSuppression(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": `package p
+
+import "time"
+
+func SleepSameLine() { time.Sleep(1) } //lint:ignore ctxfirst fixture
+
+//lint:ignore all fixture
+func SleepPrevLine() { time.Sleep(1) }
+
+//lint:ignore metricname,ctxfirst fixture
+func SleepList() { time.Sleep(1) }
+
+//lint:ignore metricname fixture
+func SleepWrongAnalyzer() { time.Sleep(1) }
+
+//lint:ignore ctxfirst fixture too far away
+
+func SleepFarDirective() { time.Sleep(1) }
+`,
+	})
+	pkgs, err := NewLoader().Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{NewCtxFirst(root)})
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, fmt.Sprintf("%s at line %d", d.Analyzer, d.Pos.Line))
+	}
+	// The sleep itself is on the function's body line; ctxfirst
+	// reports at the function name. Expect exactly the two unsuppressed
+	// functions.
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (WrongAnalyzer + FarDirective)", msgs)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "SleepWrongAnalyzer") && !strings.Contains(d.Message, "SleepFarDirective") {
+			t.Errorf("unexpected diagnostic: %s", d.Message)
+		}
+	}
+}
+
+// TestMalformedIgnoreDirective asserts a reason-less directive is both
+// reported and inert.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": `package p
+
+import "time"
+
+func Sleep() {
+	//lint:ignore ctxfirst
+	time.Sleep(1)
+}
+`,
+	})
+	pkgs, err := NewLoader().Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{NewCtxFirst(root)})
+	var haveLint, haveCtx bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			haveLint = true
+			if !strings.Contains(d.Message, "malformed") {
+				t.Errorf("driver diagnostic = %q", d.Message)
+			}
+		case "ctxfirst":
+			haveCtx = true
+		}
+	}
+	if !haveLint {
+		t.Error("malformed directive not reported")
+	}
+	if !haveCtx {
+		t.Error("malformed directive suppressed the finding it should not")
+	}
+}
+
+// TestLoaderSkipsDirs asserts testdata/vendor/hidden/_ trees are
+// outside "/..." patterns.
+func TestLoaderSkipsDirs(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go":               "package a\n",
+		"a/testdata/x.go":      "package broken !!!\n",
+		"vendor/v/v.go":        "package broken !!!\n",
+		".hidden/h.go":         "package broken !!!\n",
+		"_skip/s.go":           "package broken !!!\n",
+		"b/sub/deep.go":        "package sub\n",
+		"empty/readme.txt":     "not go\n",
+		"a/testdata/nested.go": "also broken ((\n",
+	})
+	pkgs, err := NewLoader().Load(root + "/...")
+	if err != nil {
+		t.Fatalf("load should skip broken excluded trees: %v", err)
+	}
+	var names []string
+	for _, p := range pkgs {
+		names = append(names, p.Name)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("packages = %v, want [a sub]", names)
+	}
+}
+
+// TestASTCacheReuse asserts the per-file cache returns the identical
+// AST for an unchanged file and reparses after modification.
+func TestASTCacheReuse(t *testing.T) {
+	root := writeTree(t, map[string]string{"p/p.go": "package p\n"})
+	path := filepath.Join(root, "p", "p.go")
+	c := newASTCache()
+	_, ast1, err := c.parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ast2, err := c.parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast1 != ast2 {
+		t.Error("unchanged file was reparsed")
+	}
+	// Grow the file (mtime alone can be too coarse on fast writes).
+	if err := os.WriteFile(path, []byte("package p\n\nvar X = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ast3, err := c.parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast3 == ast1 {
+		t.Error("modified file served from stale cache")
+	}
+}
+
+// TestDiagnosticString locks the go-vet-style rendering prooflint and
+// CI grep on.
+func TestDiagnosticString(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": "package p\n\nimport \"time\"\n\nfunc Block() { time.Sleep(1) }\n",
+	})
+	pkgs, err := NewLoader().Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{NewCtxFirst(root)})
+	if len(diags) != 1 {
+		t.Fatalf("diags = %d, want 1", len(diags))
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "p.go:5:6: ctxfirst: ") {
+		t.Errorf("rendering = %q, want path:line:col: analyzer: message", s)
+	}
+}
+
+// TestLoadErrorOnBadSyntax asserts an in-scope unparsable file fails
+// the load instead of being skipped silently.
+func TestLoadErrorOnBadSyntax(t *testing.T) {
+	root := writeTree(t, map[string]string{"p/p.go": "package p func (((\n"})
+	if _, err := NewLoader().Load(filepath.Join(root, "p")); err == nil {
+		t.Fatal("want parse error")
+	}
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockedCall flags blocking operations performed while a mutex is
+// held: a channel op, select, sleep, Wait or HTTP call between an
+// x.Lock()/x.RLock() and the matching x.Unlock()/x.RUnlock().
+// Blocking under a lock is how a slow consumer turns into a stalled
+// metrics scrape or a deadlocked cache — the critical-section
+// discipline obs and profsession rely on.
+//
+// The scan is a linear walk of each statement list, tracking which
+// mutexes are held. Nested blocks (if/for/switch bodies) inherit a
+// copy of the holder set, so an Unlock inside a branch clears the
+// state for the rest of that branch but not for the code after it —
+// if any path reaches a later statement with the lock held, the later
+// statement is still checked. Function literals are excluded
+// throughout (a closure runs later, under whatever lock state its
+// caller has), and a deferred Unlock does not release for the purpose
+// of this scan: blocking between "defer mu.Unlock()" and return
+// really does hold the lock.
+type LockedCall struct{}
+
+// NewLockedCall builds the analyzer.
+func NewLockedCall() *LockedCall { return &LockedCall{} }
+
+func (*LockedCall) Name() string { return "lockedcall" }
+func (*LockedCall) Doc() string {
+	return "no channel ops, select, sleeps, Waits or HTTP calls while holding a mutex"
+}
+
+func (a *LockedCall) Check(f *File, r *Reporter) {
+	funcBodies(f.AST, func(name string, fn ast.Node, body *ast.BlockStmt) {
+		a.scanStmts(body.List, map[string]token.Pos{}, r)
+	})
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// scanStmts runs the lock-state scan over one statement list. held
+// maps mutex paths ("mu", "s.mu") to their Lock position and is
+// mutated in place as the list progresses.
+func (a *LockedCall) scanStmts(stmts []ast.Stmt, held map[string]token.Pos, r *Reporter) {
+	for _, st := range stmts {
+		if es, ok := st.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if path := recvPath(call); path != "" {
+					switch methodName(call) {
+					case "Lock", "RLock":
+						held[path] = call.Pos()
+						continue
+					case "Unlock", "RUnlock":
+						delete(held, path)
+						continue
+					}
+				}
+			}
+		}
+		switch s := st.(type) {
+		case *ast.DeferStmt:
+			// defer x.Unlock() releases only at return; the deferred
+			// call itself runs outside this straight-line scan.
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				a.reportHeld(s.Pos(), "select", held, r)
+			} else {
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						a.scanStmts(cc.Body, copyHeld(held), r)
+					}
+				}
+			}
+		case *ast.BlockStmt:
+			a.scanStmts(s.List, copyHeld(held), r)
+		case *ast.IfStmt:
+			a.checkExprs(held, r, s.Init, s.Cond)
+			a.scanStmts(s.Body.List, copyHeld(held), r)
+			if s.Else != nil {
+				a.scanStmts([]ast.Stmt{s.Else}, copyHeld(held), r)
+			}
+		case *ast.ForStmt:
+			a.checkExprs(held, r, s.Init, s.Cond, s.Post)
+			a.scanStmts(s.Body.List, copyHeld(held), r)
+		case *ast.RangeStmt:
+			a.checkExprs(held, r, s.X)
+			a.scanStmts(s.Body.List, copyHeld(held), r)
+		case *ast.SwitchStmt:
+			a.checkExprs(held, r, s.Init, s.Tag)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					a.scanStmts(cc.Body, copyHeld(held), r)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					a.scanStmts(cc.Body, copyHeld(held), r)
+				}
+			}
+		case *ast.LabeledStmt:
+			a.scanStmts([]ast.Stmt{s.Stmt}, held, r)
+		default:
+			if len(held) > 0 {
+				a.checkBlocking(st, held, r)
+			}
+		}
+	}
+}
+
+// checkExprs checks the non-body parts of a compound statement (init
+// statements, conditions, range operands) while locks are held.
+func (a *LockedCall) checkExprs(held map[string]token.Pos, r *Reporter, nodes ...ast.Node) {
+	if len(held) == 0 {
+		return
+	}
+	for _, n := range nodes {
+		if n == nil || isNilNode(n) {
+			continue
+		}
+		a.checkBlocking(n, held, r)
+	}
+}
+
+// isNilNode guards against typed-nil ast.Node interface values
+// (e.g. a nil *ast.ExprStmt passed as ast.Node).
+func isNilNode(n ast.Node) bool {
+	switch x := n.(type) {
+	case ast.Expr:
+		return x == nil
+	case ast.Stmt:
+		return x == nil
+	}
+	return false
+}
+
+// reportHeld reports one construct against every held mutex.
+func (a *LockedCall) reportHeld(pos token.Pos, what string, held map[string]token.Pos, r *Reporter) {
+	for path, lockPos := range held {
+		r.Report(pos, "%s while %s is locked (Lock at line %d)",
+			what, path, r.file.Fset.Position(lockPos).Line)
+	}
+}
+
+// checkBlocking reports every blocking construct in the node's
+// subtree (function literals excluded).
+func (a *LockedCall) checkBlocking(node ast.Node, held map[string]token.Pos, r *Reporter) {
+	walkSameFunc(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			a.reportHeld(x.Pos(), "select", held, r)
+			return false
+		case *ast.SendStmt:
+			a.reportHeld(x.Pos(), "channel send", held, r)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				a.reportHeld(x.Pos(), "channel receive", held, r)
+			}
+		case *ast.CallExpr:
+			switch {
+			case isPkgCall(x, "time", "Sleep"):
+				a.reportHeld(x.Pos(), "time.Sleep", held, r)
+			case methodName(x) == "Wait":
+				a.reportHeld(x.Pos(), recvPath(x)+".Wait()", held, r)
+			case recvIdent(x) != nil && recvIdent(x).Name == "http":
+				a.reportHeld(x.Pos(), "net/http call", held, r)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// registryMethods are the obs.Registry constructors whose first
+// argument is a metric family name.
+var registryMethods = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"CounterFunc":  true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+	"HistogramVec": true,
+}
+
+var (
+	// snakeName is the full-name rule: Prometheus-compatible
+	// lower-snake-case with no leading/trailing underscore.
+	snakeName = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+	// snakeFragment is the looser rule for pieces of concatenated
+	// names ("_session_", "hits_total"): only the legal character set
+	// is checkable, since the fragment's underscore placement depends
+	// on its neighbors.
+	snakeFragment = regexp.MustCompile(`^[a-z0-9_]+$`)
+)
+
+// metricPrefix is the process-wide namespace every fully-literal
+// metric family name must carry, so /metrics stays greppable and two
+// subsystems cannot collide with generic names like "requests_total".
+const metricPrefix = "proofd_"
+
+// MetricName enforces the naming conventions for metric families and
+// span names, and detects the same fully-literal metric name being
+// registered from two different packages — the collision obs.Registry
+// would only surface at runtime (as an ErrMetricConflict or, worse,
+// two subsystems silently sharing one counter).
+type MetricName struct {
+	// firstSeen maps fully-literal metric names to the package and
+	// position that registered them first (non-test files only).
+	firstSeen map[string]metricSite
+	dups      []Diagnostic
+}
+
+type metricSite struct {
+	pkg string
+	pos token.Position
+}
+
+// NewMetricName builds the analyzer.
+func NewMetricName() *MetricName {
+	return &MetricName{firstSeen: map[string]metricSite{}}
+}
+
+func (*MetricName) Name() string { return "metricname" }
+func (*MetricName) Doc() string {
+	return "metric/span name literals must be snake_case (metrics proofd_-prefixed), unique across packages"
+}
+
+func (a *MetricName) Check(f *File, r *Reporter) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case registryMethods[methodName(call)] && len(call.Args) >= 1:
+			a.checkName(f, r, call.Args[0], "metric", true)
+		case isPkgCall(call, "obs", "Start") && len(call.Args) >= 2:
+			a.checkName(f, r, call.Args[1], "span", false)
+		}
+		return true
+	})
+}
+
+// checkName validates one name argument. Full string literals get the
+// complete rule set; concatenations get per-fragment character
+// checks; dynamic names (idents, calls) are out of syntactic reach
+// and pass.
+func (a *MetricName) checkName(f *File, r *Reporter, arg ast.Expr, kind string, isMetric bool) {
+	if f.Test {
+		return // test registries may use throwaway names
+	}
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return
+		}
+		name, err := strconv.Unquote(e.Value)
+		if err != nil {
+			return
+		}
+		if !snakeName.MatchString(name) {
+			r.Report(e.Pos(), "%s name %q is not snake_case", kind, name)
+			return
+		}
+		if !isMetric {
+			return
+		}
+		if len(name) < len(metricPrefix) || name[:len(metricPrefix)] != metricPrefix {
+			r.Report(e.Pos(), "metric name %q lacks the %q namespace prefix", name, metricPrefix)
+			return
+		}
+		pos := f.Fset.Position(e.Pos())
+		if first, ok := a.firstSeen[name]; ok {
+			if first.pkg != f.Pkg.Dir {
+				a.dups = append(a.dups, Diagnostic{
+					Pos:      pos,
+					Analyzer: a.Name(),
+					Message: "metric " + strconv.Quote(name) + " already registered by package " +
+						first.pkg + " (" + first.pos.String() + ")",
+				})
+			}
+			return
+		}
+		a.firstSeen[name] = metricSite{pkg: f.Pkg.Dir, pos: pos}
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return
+		}
+		a.checkFragments(r, e, kind)
+	}
+}
+
+// checkFragments walks a + concatenation and validates each string
+// literal operand's character set.
+func (a *MetricName) checkFragments(r *Reporter, e ast.Expr, kind string) {
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD {
+			return
+		}
+		a.checkFragments(r, x.X, kind)
+		a.checkFragments(r, x.Y, kind)
+	case *ast.BasicLit:
+		if x.Kind != token.STRING {
+			return
+		}
+		frag, err := strconv.Unquote(x.Value)
+		if err != nil || frag == "" {
+			return
+		}
+		if !snakeFragment.MatchString(frag) {
+			r.Report(x.Pos(), "%s name fragment %q contains non-snake_case characters", kind, frag)
+		}
+	}
+}
+
+// Finish emits the cross-package duplicates in deterministic order.
+func (a *MetricName) Finish(r *Reporter) {
+	sort.Slice(a.dups, func(i, j int) bool {
+		if a.dups[i].Pos.Filename != a.dups[j].Pos.Filename {
+			return a.dups[i].Pos.Filename < a.dups[j].Pos.Filename
+		}
+		return a.dups[i].Pos.Line < a.dups[j].Pos.Line
+	})
+	for _, d := range a.dups {
+		r.ReportAt(d.Pos, "%s", d.Message)
+	}
+}

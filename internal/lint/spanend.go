@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SpanEnd flags obs.Start spans that can never be closed: a span
+// assigned but never End()/EndErr()-ed in its enclosing function, or
+// discarded outright with _. An unclosed span never reaches the
+// tracer's finished list, so the stage silently disappears from
+// /debug/traces and the per-stage latency histograms — exactly the
+// observability hole the obs package exists to prevent.
+type SpanEnd struct{}
+
+// NewSpanEnd builds the analyzer.
+func NewSpanEnd() *SpanEnd { return &SpanEnd{} }
+
+func (*SpanEnd) Name() string { return "spanend" }
+func (*SpanEnd) Doc() string {
+	return "every obs.Start span must be End()/EndErr()-ed (or deferred) in its enclosing function"
+}
+
+func (a *SpanEnd) Check(f *File, r *Reporter) {
+	funcBodies(f.AST, func(name string, fn ast.Node, body *ast.BlockStmt) {
+		// Collect the spans this function starts. Only assignments
+		// whose nearest enclosing function is this one belong to it —
+		// walkSameFunc skips nested literals, which get their own
+		// visit.
+		type span struct {
+			ident string
+			pos   token.Pos
+		}
+		var spans []span
+		walkSameFunc(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isPkgCall(call, "obs", "Start") {
+				return true
+			}
+			id, ok := as.Lhs[1].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				r.Report(id.Pos(), "span from obs.Start is discarded; it can never be ended")
+				return true
+			}
+			spans = append(spans, span{ident: id.Name, pos: id.Pos()})
+			return true
+		})
+		if len(spans) == 0 {
+			return
+		}
+		// A span may be closed by a deferred closure, so the search
+		// for End/EndErr covers the whole function subtree including
+		// nested literals.
+		ended := map[string]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m := methodName(call); m == "End" || m == "EndErr" {
+				if id := recvIdent(call); id != nil {
+					ended[id.Name] = true
+				}
+			}
+			return true
+		})
+		for _, sp := range spans {
+			if !ended[sp.ident] {
+				r.Report(sp.pos, "span %s from obs.Start is never ended in %s (call %s.End() or %s.EndErr(err))",
+					sp.ident, name, sp.ident, sp.ident)
+			}
+		}
+	})
+}

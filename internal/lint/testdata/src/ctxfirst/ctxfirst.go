@@ -1,0 +1,66 @@
+// Package ctxfirst is a prooflint fixture; it is parsed, never built.
+package ctxfirst
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work(i int) { _ = i }
+
+// Fanout starts goroutines without a context.
+func Fanout(n int) {
+	for i := 0; i < n; i++ {
+		go work(i)
+	}
+}
+
+// WaitAll blocks on a WaitGroup.
+func WaitAll(wg *sync.WaitGroup) { wg.Wait() }
+
+// Sleepy sleeps.
+func Sleepy() { time.Sleep(time.Millisecond) }
+
+// Recv receives from a channel.
+func Recv(ch chan int) int { return <-ch }
+
+// Send sends on a channel.
+func Send(ch chan int) { ch <- 1 }
+
+// Good blocks but takes ctx first.
+func Good(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// CtxSecond blocks and has a context, but not as the first parameter.
+func CtxSecond(n int, ctx context.Context) {
+	go work(n)
+	<-ctx.Done()
+}
+
+// unexportedBlock may block without ctx; the rule guards the API
+// surface only.
+func unexportedBlock(ch chan int) { <-ch }
+
+// Pure never blocks, so no context is demanded.
+func Pure(a, b int) int { return a + b }
+
+// ClosureOnly returns a closure that blocks; the function itself does
+// not.
+func ClosureOnly(ch chan int) func() int {
+	return func() int { return <-ch }
+}
+
+// Ignored is exempted with a reason.
+//
+//lint:ignore ctxfirst pre-context API frozen for downstream users
+func Ignored(ch chan int) { <-ch }
+
+//lint:ignore
+func MalformedDirective(ch chan int) { <-ch }

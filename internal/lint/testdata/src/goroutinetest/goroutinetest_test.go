@@ -1,0 +1,49 @@
+// Package goroutinetest is a prooflint fixture; it is parsed, never
+// built or run.
+package goroutinetest
+
+import (
+	"sync"
+	"testing"
+)
+
+func cond() bool { return false }
+
+func TestFatalInGoroutine(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.Fatal("flagged: kills the goroutine, not the test")
+	}()
+	go func() {
+		t.Fatalf("flagged: %d", 1)
+	}()
+	go func() {
+		if cond() {
+			t.FailNow() // flagged even when nested in a branch
+		}
+	}()
+	go func() {
+		f := func() { t.Skip("flagged: closure still runs on the goroutine") }
+		f()
+	}()
+	go func() {
+		t.Error("fine: Error does not call runtime.Goexit")
+	}()
+	wg.Wait()
+	t.Fatal("fine: runs on the test goroutine itself")
+}
+
+func TestSuppressed(t *testing.T) {
+	go func() {
+		//lint:ignore goroutinetest exercising the hang on purpose
+		t.Fatal("suppressed")
+	}()
+}
+
+func BenchmarkFatalInGoroutine(b *testing.B) {
+	go func() {
+		b.Fatal("flagged: benchmarks have the same footgun")
+	}()
+}

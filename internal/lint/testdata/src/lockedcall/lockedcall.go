@@ -1,0 +1,95 @@
+// Package lockedcall is a prooflint fixture; it is parsed, never
+// built.
+package lockedcall
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu    sync.RWMutex
+	wg    sync.WaitGroup
+	ch    chan int
+	ready bool
+	n     int
+}
+
+func recvLocked(s *state) {
+	s.mu.Lock()
+	<-s.ch // flagged
+	s.mu.Unlock()
+}
+
+func sendUnderDefer(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // flagged: the deferred Unlock has not run yet
+}
+
+func selectLocked(s *state) {
+	s.mu.Lock()
+	select { // flagged
+	case <-s.ch:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func sleepLocked(s *state) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // flagged
+	s.mu.Unlock()
+}
+
+func waitLocked(s *state) {
+	s.mu.Lock()
+	s.wg.Wait() // flagged
+	s.mu.Unlock()
+}
+
+func httpLocked(s *state) {
+	s.mu.RLock()
+	resp, err := http.Get("http://example.invalid/") // flagged
+	_, _ = resp, err
+	s.mu.RUnlock()
+}
+
+func branchStillLocked(s *state) {
+	s.mu.Lock()
+	if s.ready {
+		<-s.ch // flagged: the branch inherits the lock
+	}
+	s.mu.Unlock()
+}
+
+func branchUnlocksFirst(s *state) {
+	s.mu.Lock()
+	if s.ready {
+		s.mu.Unlock()
+		<-s.ch // fine: this path unlocked above
+		return
+	}
+	s.mu.Unlock()
+}
+
+func afterUnlock(s *state) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	<-s.ch // fine
+}
+
+func closureEscapes(s *state) func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int { return <-s.ch } // fine: runs after Unlock
+}
+
+func suppressed(s *state) {
+	s.mu.Lock()
+	//lint:ignore lockedcall single-writer channel can never block here
+	s.ch <- 1
+	s.mu.Unlock()
+}

@@ -1,0 +1,8 @@
+// Package a registers the shared metric first (fixture; parsed only).
+package a
+
+import "proof/internal/obs"
+
+func wire(reg *obs.Registry) {
+	reg.Counter("proofd_shared_total", "first registration wins")
+}

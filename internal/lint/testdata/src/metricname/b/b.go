@@ -1,0 +1,8 @@
+// Package b collides with package a's metric (fixture; parsed only).
+package b
+
+import "proof/internal/obs"
+
+func wire(reg *obs.Registry) {
+	reg.Counter("proofd_shared_total", "flagged: duplicate across packages")
+}

@@ -1,0 +1,29 @@
+// Package metricname is a prooflint fixture; it is parsed, never
+// built.
+package metricname
+
+import (
+	"context"
+
+	"proof/internal/obs"
+)
+
+func wire(ctx context.Context, reg *obs.Registry, prefix string) {
+	reg.Counter("proofd_good_total", "ok")
+	reg.Counter("proofd_good_total", "same-package re-registration is the registry's business")
+	reg.Gauge("proofd_BadCase", "flagged: not snake_case")
+	reg.Counter("requests_total", "flagged: lacks the namespace prefix")
+	reg.Histogram("proofd_trailing_", "flagged: trailing underscore", nil)
+	reg.CounterFunc(prefix+"_hits_total", "fragments with a legal charset pass", nil)
+	reg.GaugeFunc(prefix+"_Bad-Frag", "flagged fragment", nil)
+	reg.Counter(dynamicName(), "dynamic names are out of syntactic reach")
+
+	_, sp := obs.Start(ctx, "good_span")
+	sp.End()
+	_, sp2 := obs.Start(ctx, "BadSpan")
+	sp2.End()
+	//lint:ignore metricname grandfathered name predates the convention
+	reg.Counter("legacy-total", "suppressed")
+}
+
+func dynamicName() string { return "proofd_dynamic_total" }

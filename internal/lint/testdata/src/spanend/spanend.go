@@ -1,0 +1,64 @@
+// Package spanend is a prooflint fixture; it is parsed, never built.
+package spanend
+
+import (
+	"context"
+
+	"proof/internal/obs"
+)
+
+func keep(v any) { _ = v }
+
+func good(ctx context.Context) {
+	ctx, sp := obs.Start(ctx, "good_stage")
+	defer sp.End()
+	_ = ctx
+}
+
+func goodErr(ctx context.Context) (err error) {
+	_, sp := obs.Start(ctx, "good_err_stage")
+	defer func() { sp.EndErr(err) }()
+	return nil
+}
+
+func goodAssignForm(ctx context.Context) {
+	var sp *obs.Span
+	ctx, sp = obs.Start(ctx, "assigned_stage")
+	sp.End()
+	_ = ctx
+}
+
+func leaked(ctx context.Context) {
+	_, sp := obs.Start(ctx, "leaked_stage")
+	keep(sp)
+}
+
+func discarded(ctx context.Context) {
+	ctx, _ = obs.Start(ctx, "discarded_stage")
+	_ = ctx
+}
+
+func nestedLitLeak(ctx context.Context) {
+	f := func() {
+		_, sp := obs.Start(ctx, "inner_stage")
+		keep(sp)
+	}
+	f()
+}
+
+func outerEndsForInner(ctx context.Context) {
+	// The literal leaks its own span even though an identically named
+	// span is ended by the outer function.
+	_, sp := obs.Start(ctx, "outer_stage")
+	f := func() {
+		_, sp := obs.Start(ctx, "shadow_stage")
+		keep(sp)
+	}
+	f()
+	sp.End()
+}
+
+func ignored(ctx context.Context) {
+	_, sp := obs.Start(ctx, "handed_off_stage") //lint:ignore spanend span ownership transfers to keep
+	keep(sp)
+}

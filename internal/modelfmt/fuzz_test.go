@@ -2,6 +2,7 @@ package modelfmt
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"proof/internal/graph"
@@ -77,5 +78,44 @@ func FuzzModelFmtRoundTrip(f *testing.F) {
 		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
 			t.Fatalf("round trip unstable:\nfirst:  %s\nsecond: %s", enc1.Bytes(), enc2.Bytes())
 		}
+	})
+}
+
+// FuzzValidateCorruptGraph hardens the static model verifier: any graph
+// that JSON-decodes — however corrupt (nil tensor entries, negative
+// dimensions, dangling references, bogus dtypes, cyclic edges) — must
+// be rejected or accepted by graph.Validate with a plain error, never a
+// panic. proofd depends on this: an inline graph in a profile request
+// reaches Validate directly from the wire, and a panic there would turn
+// a malformed request into a crashed worker instead of a 400.
+func FuzzValidateCorruptGraph(f *testing.F) {
+	seed, err := json.Marshal(fuzzSeedGraph())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"g","tensors":{"t":null},"inputs":["t"]}`))
+	f.Add([]byte(`{"name":"g","tensors":{"t":{"name":"u","dtype":99,"shape":[-1,0]}},"outputs":["t"]}`))
+	f.Add([]byte(`{"name":"g","nodes":[{"name":"n","op_type":"Relu","inputs":["x"],"outputs":["x"]}],"tensors":{"x":{"name":"x"}}}`))
+	f.Add([]byte(`{"name":"g","nodes":[{"name":"a","op_type":"Add","inputs":["p","q"],"outputs":["r"]}],` +
+		`"tensors":{"p":{"name":"p","dtype":1,"shape":[2,3]},"q":{"name":"q","dtype":1,"shape":[4]},"r":{"name":"r","dtype":1,"shape":[2,3]}}}`))
+	f.Add([]byte(`{"name":"g","tensors":{"w":{"name":"w","dtype":1,"param":true,"int_data":[1,2,3]}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g graph.Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // not even a graph; nothing to validate
+		}
+		if g.Tensors == nil {
+			g.Tensors = map[string]*graph.Tensor{}
+		}
+		// Must classify, never panic.
+		for _, ve := range g.ValidateAll() {
+			if ve.Code == "" || ve.Error() == "" {
+				t.Fatalf("untyped validation error: %+v", ve)
+			}
+		}
+		_ = g.Validate()
 	})
 }

@@ -25,12 +25,17 @@ func TestAllModelsBuildAndValidate(t *testing.T) {
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
-			if err := g.Validate(); err != nil {
-				t.Fatalf("validate: %v", err)
+			if errs := g.ValidateAll(); len(errs) > 0 {
+				t.Fatalf("validate: %v", errs)
 			}
 			rep, err := analysis.NewRep(g)
 			if err != nil {
 				t.Fatalf("analyze: %v", err)
+			}
+			// The verifier must stay clean on fully inferred graphs
+			// too (shape-contradiction checks see every shape here).
+			if errs := g.ValidateAll(); len(errs) > 0 {
+				t.Fatalf("validate after inference: %v", errs)
 			}
 			if rep.TotalCost().FLOP <= 0 {
 				t.Error("model has no FLOP")

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -43,6 +44,24 @@ const (
 	kindGaugeFunc
 )
 
+// String names the kind for conflict messages (distinguishing the
+// render-time *Func kinds that promType collapses).
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	case kindCounterFunc:
+		return "counter func"
+	case kindGaugeFunc:
+		return "gauge func"
+	}
+	return "unknown"
+}
+
 func (k familyKind) promType() string {
 	switch k {
 	case kindCounter, kindCounterFunc:
@@ -71,17 +90,38 @@ type metric interface {
 	render(w io.Writer, fam *family, labelValues []string)
 }
 
-// lookup returns the family named name, creating it on first use, and
-// panics on a kind/label mismatch (a programming error: two subsystems
-// disagree about what a metric is).
-func (r *Registry) lookup(name, help string, kind familyKind, labels []string, buckets []float64, fn func() float64) *family {
+// ErrMetricConflict marks a rejected metric registration: the name is
+// already taken by a family with a different definition (kind, label
+// set, buckets), or by a *Func metric whose closure a re-registration
+// would silently drop. It is the runtime counterpart of prooflint's
+// metricname analyzer, which catches the same collisions statically.
+var ErrMetricConflict = errors.New("conflicting metric registration")
+
+// lookup returns the family named name, creating it on first use.
+// Re-registering an identical definition is idempotent (independent
+// subsystems wire the same shared registry without coordinating);
+// re-registering a conflicting one is an error at register time.
+func (r *Registry) lookup(name, help string, kind familyKind, labels []string, buckets []float64, fn func() float64) (*family, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.fams[name]; ok {
-		if f.kind != kind || len(f.labels) != len(labels) {
-			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		switch {
+		case f.kind != kind:
+			return nil, fmt.Errorf("obs: metric %q already registered as a %v, re-registered as a %v: %w",
+				name, f.kind, kind, ErrMetricConflict)
+		case !equalStrings(f.labels, labels):
+			return nil, fmt.Errorf("obs: metric %q already registered with labels %v, re-registered with %v: %w",
+				name, f.labels, labels, ErrMetricConflict)
+		case !equalFloats(f.buckets, buckets):
+			return nil, fmt.Errorf("obs: metric %q already registered with different buckets: %w",
+				name, ErrMetricConflict)
+		case f.fn != nil || fn != nil:
+			// A *Func metric's value IS its closure; a duplicate
+			// registration would silently keep the first one and drop
+			// the second — always a wiring bug.
+			return nil, fmt.Errorf("obs: func metric %q registered twice: %w", name, ErrMetricConflict)
 		}
-		return f
+		return f, nil
 	}
 	f := &family{
 		name: name, help: help, kind: kind,
@@ -91,7 +131,43 @@ func (r *Registry) lookup(name, help string, kind familyKind, labels []string, b
 		series:  make(map[string]metric),
 	}
 	r.fams[name] = f
+	return f, nil
+}
+
+// mustLookup is lookup for the handle-returning constructors, whose
+// signatures predate error returns: a conflict there is a programming
+// error caught in tests (and statically by prooflint), so it panics
+// with the registration error.
+func (r *Registry) mustLookup(name, help string, kind familyKind, labels []string, buckets []float64) *family {
+	f, err := r.lookup(name, help, kind, labels, buckets, nil)
+	if err != nil {
+		panic(err)
+	}
 	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 const labelSep = "\x1f"
@@ -130,9 +206,10 @@ func (c *Counter) render(w io.Writer, fam *family, lv []string) {
 	fmt.Fprintf(w, "%s%s %d\n", fam.name, labelString(fam.labels, lv), c.Value())
 }
 
-// Counter registers (or returns) an unlabeled counter.
+// Counter registers (or returns) an unlabeled counter. A conflicting
+// re-registration panics (see mustLookup).
 func (r *Registry) Counter(name, help string) *Counter {
-	f := r.lookup(name, help, kindCounter, nil, nil, nil)
+	f := r.mustLookup(name, help, kindCounter, nil, nil)
 	return f.with(nil, func() metric { return &Counter{} }).(*Counter)
 }
 
@@ -141,7 +218,7 @@ type CounterVec struct{ f *family }
 
 // CounterVec registers (or returns) a labeled counter family.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
-	return &CounterVec{r.lookup(name, help, kindCounter, labels, nil, nil)}
+	return &CounterVec{r.mustLookup(name, help, kindCounter, labels, nil)}
 }
 
 // With returns the counter for one label-value combination.
@@ -166,21 +243,27 @@ func (g *Gauge) render(w io.Writer, fam *family, lv []string) {
 
 // Gauge registers (or returns) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	f := r.lookup(name, help, kindGauge, nil, nil, nil)
+	f := r.mustLookup(name, help, kindGauge, nil, nil)
 	return f.with(nil, func() metric { return &Gauge{} }).(*Gauge)
 }
 
 // GaugeFunc registers a gauge whose value is computed at render time —
 // the natural fit for point-in-time state owned elsewhere (cache size,
-// in-flight request count).
-func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	r.lookup(name, help, kindGaugeFunc, nil, nil, fn)
+// in-flight request count). Registering the same name twice returns
+// ErrMetricConflict: unlike the handle-returning kinds there is no
+// idempotent reading of a second registration, the new closure would
+// just be dropped.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) error {
+	_, err := r.lookup(name, help, kindGaugeFunc, nil, nil, fn)
+	return err
 }
 
 // CounterFunc registers a counter whose value is read at render time
-// from an existing lifetime total (session hit/miss counters).
-func (r *Registry) CounterFunc(name, help string, fn func() float64) {
-	r.lookup(name, help, kindCounterFunc, nil, nil, fn)
+// from an existing lifetime total (session hit/miss counters). Same
+// duplicate-registration contract as GaugeFunc.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) error {
+	_, err := r.lookup(name, help, kindCounterFunc, nil, nil, fn)
+	return err
 }
 
 // ---- histogram ----
@@ -248,7 +331,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	if buckets == nil {
 		buckets = DefaultLatencyBuckets
 	}
-	f := r.lookup(name, help, kindHistogram, nil, buckets, nil)
+	f := r.mustLookup(name, help, kindHistogram, nil, buckets)
 	return f.with(nil, func() metric { return newHistogram(f.buckets) }).(*Histogram)
 }
 
@@ -261,7 +344,7 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 	if buckets == nil {
 		buckets = DefaultLatencyBuckets
 	}
-	return &HistogramVec{r.lookup(name, help, kindHistogram, labels, buckets, nil)}
+	return &HistogramVec{r.mustLookup(name, help, kindHistogram, labels, buckets)}
 }
 
 // With returns the histogram for one label-value combination.

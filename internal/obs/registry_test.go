@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -106,5 +107,66 @@ func TestHistogramObserveDuration(t *testing.T) {
 	h.ObserveDuration(50 * time.Millisecond)
 	if h.Count() != 1 {
 		t.Errorf("count = %d, want 1", h.Count())
+	}
+}
+
+// TestRegistryDuplicateRegistration: identical re-registration is
+// idempotent; conflicting or duplicate-func registration is an error
+// at register time (the runtime counterpart of prooflint's metricname
+// analyzer).
+func TestRegistryDuplicateRegistration(t *testing.T) {
+	r := NewRegistry()
+
+	// Identical definitions share one family.
+	c1 := r.Counter("dup_ops_total", "Ops.")
+	c2 := r.Counter("dup_ops_total", "Ops again.")
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Error("identical re-registration must return the same counter")
+	}
+
+	// Func metrics may only be registered once.
+	if err := r.GaugeFunc("dup_live", "Live.", func() float64 { return 1 }); err != nil {
+		t.Fatalf("first GaugeFunc: %v", err)
+	}
+	err := r.GaugeFunc("dup_live", "Live.", func() float64 { return 2 })
+	if !errors.Is(err, ErrMetricConflict) {
+		t.Errorf("duplicate GaugeFunc: want ErrMetricConflict, got %v", err)
+	}
+	if err := r.CounterFunc("dup_hits_total", "Hits.", func() float64 { return 1 }); err != nil {
+		t.Fatalf("first CounterFunc: %v", err)
+	}
+	if err := r.CounterFunc("dup_hits_total", "Hits.", func() float64 { return 2 }); !errors.Is(err, ErrMetricConflict) {
+		t.Errorf("duplicate CounterFunc: want ErrMetricConflict, got %v", err)
+	}
+
+	// Kind and label conflicts surface through the handle constructors
+	// as panics carrying the same error.
+	mustPanicConflict := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Errorf("%s: conflicting registration did not panic", name)
+				return
+			}
+			if err, ok := v.(error); !ok || !errors.Is(err, ErrMetricConflict) {
+				t.Errorf("%s: panic value %v does not wrap ErrMetricConflict", name, v)
+			}
+		}()
+		fn()
+	}
+	mustPanicConflict("kind change", func() { r.Gauge("dup_ops_total", "Now a gauge.") })
+	mustPanicConflict("func name reuse", func() { r.Counter("dup_live", "Now a counter.") })
+	r.CounterVec("dup_requests_total", "Requests.", "path", "code")
+	mustPanicConflict("label change", func() { r.CounterVec("dup_requests_total", "Requests.", "path") })
+	r.Histogram("dup_latency_seconds", "Latency.", []float64{0.1, 1})
+	mustPanicConflict("bucket change", func() { r.Histogram("dup_latency_seconds", "Latency.", []float64{0.5}) })
+
+	// And the registry still renders after rejected registrations.
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "dup_ops_total 1") {
+		t.Errorf("exposition lost state after conflicts:\n%s", b.String())
 	}
 }

@@ -1,50 +1,57 @@
 package profsession
 
-import "proof/internal/obs"
+import (
+	"errors"
+
+	"proof/internal/obs"
+)
 
 // RegisterMetrics publishes a session's lifetime counters and cache
 // state into reg under <prefix>_session_*, read live at scrape time so
-// the session needs no push hooks. Safe to call once per
-// session/registry pair; re-registration of the same names panics (a
-// wiring error).
-func RegisterMetrics(reg *obs.Registry, prefix string, s *Session) {
+// the session needs no push hooks. Call once per session/registry
+// pair: registering the same names twice returns an error wrapping
+// obs.ErrMetricConflict (a wiring bug — the second session's closures
+// would otherwise be silently dropped).
+func RegisterMetrics(reg *obs.Registry, prefix string, s *Session) error {
 	if reg == nil || s == nil {
-		return
+		return nil
 	}
 	p := prefix + "_session_"
-	reg.CounterFunc(p+"hits_total",
-		"Profiling requests served from the report cache.",
-		func() float64 { return float64(s.hits.Load()) })
-	reg.CounterFunc(p+"misses_total",
-		"Profiling requests that executed the pipeline.",
-		func() float64 { return float64(s.misses.Load()) })
-	reg.CounterFunc(p+"evictions_total",
-		"Reports dropped by the LRU policy.",
-		func() float64 { return float64(s.evictions.Load()) })
-	reg.CounterFunc(p+"dedups_total",
-		"Requests that attached to an identical in-flight execution.",
-		func() float64 { return float64(s.dedups.Load()) })
-	reg.GaugeFunc(p+"inflight_executions",
-		"Pipeline executions running right now.",
-		func() float64 { return float64(s.running.Load()) })
-	reg.GaugeFunc(p+"cache_size",
-		"Reports currently cached.",
-		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.order.Len())
-		})
-	reg.GaugeFunc(p+"cache_capacity",
-		"Report cache capacity.",
-		func() float64 { return float64(s.capacity) })
-	reg.GaugeFunc(p+"cache_hit_ratio",
-		"Lifetime cache hit ratio: hits / (hits + misses + dedups).",
-		func() float64 {
-			h := float64(s.hits.Load())
-			total := h + float64(s.misses.Load()) + float64(s.dedups.Load())
-			if total == 0 {
-				return 0
-			}
-			return h / total
-		})
+	return errors.Join(
+		reg.CounterFunc(p+"hits_total",
+			"Profiling requests served from the report cache.",
+			func() float64 { return float64(s.hits.Load()) }),
+		reg.CounterFunc(p+"misses_total",
+			"Profiling requests that executed the pipeline.",
+			func() float64 { return float64(s.misses.Load()) }),
+		reg.CounterFunc(p+"evictions_total",
+			"Reports dropped by the LRU policy.",
+			func() float64 { return float64(s.evictions.Load()) }),
+		reg.CounterFunc(p+"dedups_total",
+			"Requests that attached to an identical in-flight execution.",
+			func() float64 { return float64(s.dedups.Load()) }),
+		reg.GaugeFunc(p+"inflight_executions",
+			"Pipeline executions running right now.",
+			func() float64 { return float64(s.running.Load()) }),
+		reg.GaugeFunc(p+"cache_size",
+			"Reports currently cached.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(s.order.Len())
+			}),
+		reg.GaugeFunc(p+"cache_capacity",
+			"Report cache capacity.",
+			func() float64 { return float64(s.capacity) }),
+		reg.GaugeFunc(p+"cache_hit_ratio",
+			"Lifetime cache hit ratio: hits / (hits + misses + dedups).",
+			func() float64 {
+				h := float64(s.hits.Load())
+				total := h + float64(s.misses.Load()) + float64(s.dedups.Load())
+				if total == 0 {
+					return 0
+				}
+				return h / total
+			}),
+	)
 }

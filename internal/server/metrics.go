@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"strconv"
 	"time"
 
@@ -25,7 +26,10 @@ type metrics struct {
 
 // wireMetrics registers the server's metric families into reg. The
 // registry may be shared with (or pre-populated by) other subsystems;
-// registration is idempotent by family name.
+// identical re-registration is idempotent by family name, but a
+// conflicting one — including wiring two servers' func metrics into
+// one registry — is a startup programming error and panics with the
+// obs.ErrMetricConflict-wrapping error.
 func wireMetrics(reg *obs.Registry, adm *admission, sess *profsession.Session) *metrics {
 	m := &metrics{
 		reg: reg,
@@ -34,19 +38,24 @@ func wireMetrics(reg *obs.Registry, adm *admission, sess *profsession.Session) *
 		duration: reg.HistogramVec("proofd_request_duration_seconds",
 			"Request latency by path.", latencyBuckets, "path"),
 	}
-	reg.GaugeFunc("proofd_inflight_profiles",
-		"Profiling requests currently executing.",
-		func() float64 { return float64(adm.inflight.Load()) })
-	reg.GaugeFunc("proofd_inflight_high_water",
-		"Maximum concurrently executing profiling requests observed.",
-		func() float64 { return float64(adm.highWater.Load()) })
-	reg.GaugeFunc("proofd_queue_depth",
-		"Profiling requests waiting for an execution slot.",
-		func() float64 { return float64(adm.queued.Load()) })
-	reg.CounterFunc("proofd_admission_rejected_total",
-		"Profiling requests shed with 429.",
-		func() float64 { return float64(adm.rejected.Load()) })
-	profsession.RegisterMetrics(reg, "proofd", sess)
+	err := errors.Join(
+		reg.GaugeFunc("proofd_inflight_profiles",
+			"Profiling requests currently executing.",
+			func() float64 { return float64(adm.inflight.Load()) }),
+		reg.GaugeFunc("proofd_inflight_high_water",
+			"Maximum concurrently executing profiling requests observed.",
+			func() float64 { return float64(adm.highWater.Load()) }),
+		reg.GaugeFunc("proofd_queue_depth",
+			"Profiling requests waiting for an execution slot.",
+			func() float64 { return float64(adm.queued.Load()) }),
+		reg.CounterFunc("proofd_admission_rejected_total",
+			"Profiling requests shed with 429.",
+			func() float64 { return float64(adm.rejected.Load()) }),
+		profsession.RegisterMetrics(reg, "proofd", sess),
+	)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -264,6 +265,9 @@ type APIError struct {
 	Code string `json:"code"`
 	// Message is the human-readable explanation.
 	Message string `json:"message"`
+	// Details carries structured, code-specific context — for
+	// invalid_model it is the list of graph.ValidationError defects.
+	Details any `json:"details,omitempty"`
 }
 
 // ErrorEnvelope is the JSON body of every non-2xx response.
@@ -273,8 +277,12 @@ type ErrorEnvelope struct {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	s.writeErrorDetails(w, r, status, code, msg, nil)
+}
+
+func (s *Server) writeErrorDetails(w http.ResponseWriter, r *http.Request, status int, code, msg string, details any) {
 	s.writeJSON(w, status, ErrorEnvelope{
-		Error:     APIError{Code: code, Message: msg},
+		Error:     APIError{Code: code, Message: msg, Details: details},
 		RequestID: requestID(r.Context()),
 	})
 }
@@ -353,21 +361,26 @@ const statusClientClosedRequest = 499
 // ---- endpoints ----
 
 // ProfileRequest is the POST /v1/profile body. Fields mirror
-// core.Options with wire-friendly types.
+// core.Options with wire-friendly types. Exactly one of Model (a zoo
+// key) or Graph (an inline modelfmt JSON graph) selects the model;
+// inline graphs pass the static verifier before admission, so a
+// corrupt one is rejected with 400 invalid_model and never consumes
+// an execution slot.
 type ProfileRequest struct {
-	Model            string  `json:"model"`
-	Platform         string  `json:"platform"`
-	Backend          string  `json:"backend,omitempty"`
-	Batch            int     `json:"batch,omitempty"`
-	DType            string  `json:"dtype,omitempty"`
-	Mode             string  `json:"mode,omitempty"`
-	Seed             uint64  `json:"seed,omitempty"`
-	GPUClockMHz      int     `json:"gpu_clock_mhz,omitempty"`
-	EMCClockMHz      int     `json:"emc_clock_mhz,omitempty"`
-	GPUCapacity      float64 `json:"gpu_capacity,omitempty"`
-	CPUClusters      int     `json:"cpu_clusters,omitempty"`
-	MeasuredRoofline bool    `json:"measured_roofline,omitempty"`
-	IgnoreSupport    bool    `json:"ignore_support,omitempty"`
+	Model            string          `json:"model,omitempty"`
+	Graph            json.RawMessage `json:"graph,omitempty"`
+	Platform         string          `json:"platform"`
+	Backend          string          `json:"backend,omitempty"`
+	Batch            int             `json:"batch,omitempty"`
+	DType            string          `json:"dtype,omitempty"`
+	Mode             string          `json:"mode,omitempty"`
+	Seed             uint64          `json:"seed,omitempty"`
+	GPUClockMHz      int             `json:"gpu_clock_mhz,omitempty"`
+	EMCClockMHz      int             `json:"emc_clock_mhz,omitempty"`
+	GPUCapacity      float64         `json:"gpu_capacity,omitempty"`
+	CPUClusters      int             `json:"cpu_clusters,omitempty"`
+	MeasuredRoofline bool            `json:"measured_roofline,omitempty"`
+	IgnoreSupport    bool            `json:"ignore_support,omitempty"`
 }
 
 // validate resolves the request into core.Options, answering the
@@ -375,15 +388,30 @@ type ProfileRequest struct {
 // writing only).
 func (s *Server) validateProfile(w http.ResponseWriter, r *http.Request, req ProfileRequest) (core.Options, bool) {
 	var zero core.Options
-	if req.Model == "" {
-		s.writeError(w, r, http.StatusBadRequest, "bad_request", "model is required")
+	if req.Model == "" && len(req.Graph) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "model or graph is required")
 		return zero, false
 	}
-	info, ok := models.Lookup(req.Model)
-	if !ok {
-		s.writeError(w, r, http.StatusNotFound, "unknown_model",
-			fmt.Sprintf("unknown model %q (GET /v1/models lists the zoo)", req.Model))
+	if req.Model != "" && len(req.Graph) > 0 {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "model and graph are mutually exclusive")
 		return zero, false
+	}
+	var info models.Info
+	var inline *graph.Graph
+	if len(req.Graph) > 0 {
+		g, ok := s.decodeGraph(w, r, req.Graph)
+		if !ok {
+			return zero, false
+		}
+		inline = g
+	} else {
+		var ok bool
+		info, ok = models.Lookup(req.Model)
+		if !ok {
+			s.writeError(w, r, http.StatusNotFound, "unknown_model",
+				fmt.Sprintf("unknown model %q (GET /v1/models lists the zoo)", req.Model))
+			return zero, false
+		}
 	}
 	if req.Platform == "" {
 		s.writeError(w, r, http.StatusBadRequest, "bad_request", "platform is required")
@@ -418,7 +446,7 @@ func (s *Server) validateProfile(w http.ResponseWriter, r *http.Request, req Pro
 			return zero, false
 		}
 	}
-	if !req.IgnoreSupport && !plat.Supports(info.Type) {
+	if !req.IgnoreSupport && inline == nil && !plat.Supports(info.Type) {
 		s.writeError(w, r, http.StatusUnprocessableEntity, "unsupported",
 			fmt.Sprintf("platform %s does not support %s models (set ignore_support to try anyway)", plat.Key, info.Type))
 		return zero, false
@@ -429,6 +457,7 @@ func (s *Server) validateProfile(w http.ResponseWriter, r *http.Request, req Pro
 	}
 	return core.Options{
 		Model:    req.Model,
+		Graph:    inline,
 		Platform: req.Platform,
 		Backend:  req.Backend,
 		Batch:    req.Batch,
@@ -444,6 +473,39 @@ func (s *Server) validateProfile(w http.ResponseWriter, r *http.Request, req Pro
 		MeasuredRoofline: req.MeasuredRoofline,
 		IgnoreSupport:    req.IgnoreSupport,
 	}, true
+}
+
+// decodeGraph strictly decodes an inline model graph and runs the
+// static verifier over it, answering 400 itself on failure. The
+// whole defect list (not just the first) rides in the envelope's
+// details so a client can fix a corrupt export in one round trip.
+func (s *Server) decodeGraph(w http.ResponseWriter, r *http.Request, raw json.RawMessage) (*graph.Graph, bool) {
+	g := &graph.Graph{}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(g); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "malformed graph: "+err.Error())
+		return nil, false
+	}
+	if g.Tensors == nil {
+		g.Tensors = map[string]*graph.Tensor{}
+	}
+	if g.Name == "" {
+		g.Name = "inline"
+	}
+	if errs := g.ValidateAll(); len(errs) > 0 {
+		s.writeErrorDetails(w, r, http.StatusBadRequest, "invalid_model",
+			fmt.Sprintf("model graph failed static verification with %d defect(s)", len(errs)), errs)
+		return nil, false
+	}
+	// Structural soundness doesn't guarantee the shapes compose; run
+	// inference on a scratch clone so semantic defects also answer 400
+	// before the request takes an execution slot.
+	if err := g.Clone().InferShapes(); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "invalid_model", "shape inference failed: "+err.Error())
+		return nil, false
+	}
+	return g, true
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
@@ -555,8 +617,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeProfilingError maps a pipeline failure to a response: deadline →
-// 504, client gone → 499 (log-only), anything else → 500.
+// 504, client gone → 499 (log-only), a model-graph verification error
+// anywhere in the chain → 400 invalid_model, anything else → 500.
 func (s *Server) writeProfilingError(w http.ResponseWriter, r *http.Request, err error) {
+	if verr, ok := graph.AsValidationError(err); ok {
+		s.writeErrorDetails(w, r, http.StatusBadRequest, "invalid_model", err.Error(),
+			[]*graph.ValidationError{verr})
+		return
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.writeError(w, r, http.StatusGatewayTimeout, "timeout",
