@@ -29,6 +29,8 @@ import (
 	"syscall"
 	"time"
 
+	"proof/internal/core"
+	"proof/internal/faults"
 	"proof/internal/profsession"
 	"proof/internal/server"
 )
@@ -46,6 +48,23 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and /debug/traces on this private address (empty = disabled)")
 		traceRing    = flag.Int("trace-ring", 0, "recent request traces retained for GET /debug/traces (0 = default 16)")
+
+		// Resilience: retries, per-attempt timeouts, circuit breaking.
+		retryAttempts  = flag.Int("retry-attempts", 3, "profiling attempts per execution for transient failures (<= 1 disables retries)")
+		retryBase      = flag.Duration("retry-base", 50*time.Millisecond, "delay before the first retry (doubles per attempt, jittered)")
+		retryMaxDelay  = flag.Duration("retry-max-delay", 2*time.Second, "cap on the grown retry delay")
+		attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt timeout (0 = attempts share the request budget)")
+		breakThresh    = flag.Int("breaker-threshold", 5, "consecutive failures per (model, platform) that open its circuit (0 disables)")
+		breakCooldown  = flag.Duration("breaker-cooldown", 10*time.Second, "open-circuit cooldown before a half-open probe")
+		staleCap       = flag.Int("stale-capacity", 0, "last-known-good store capacity for degraded serving (0 = 4x cache-capacity)")
+
+		// Chaos: inject faults into the live pipeline (testing only).
+		faultRate        = flag.Float64("fault-rate", 0, "inject an error into this fraction of pipeline executions (chaos testing; 0 disables)")
+		faultTransient   = flag.Float64("fault-transient-share", 1, "fraction of injected errors that are transient (rest permanent)")
+		faultLatency     = flag.Duration("fault-latency", 0, "injected latency spike magnitude")
+		faultLatencyRate = flag.Float64("fault-latency-rate", 0, "fraction of executions delayed by -fault-latency")
+		faultBlowRate    = flag.Float64("fault-blowthrough-rate", 0, "fraction of executions that hang until their deadline")
+		faultSeed        = flag.Uint64("fault-seed", 1, "fault injector seed (same seed + sequence = same schedule)")
 	)
 	flag.Parse()
 
@@ -56,8 +75,41 @@ func main() {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	profile := core.ProfileFunc(core.ProfileCtx)
+	if *faultRate > 0 || *faultLatencyRate > 0 || *faultBlowRate > 0 {
+		inj := faults.New(faults.Config{
+			Seed:            *faultSeed,
+			ErrorRate:       *faultRate,
+			TransientShare:  *faultTransient,
+			LatencyRate:     *faultLatencyRate,
+			Latency:         *faultLatency,
+			BlowthroughRate: *faultBlowRate,
+		})
+		profile = faults.Wrap(inj, profile)
+		logger.Warn("fault injection enabled",
+			"error_rate", *faultRate, "transient_share", *faultTransient,
+			"latency_rate", *faultLatencyRate, "blowthrough_rate", *faultBlowRate,
+			"seed", *faultSeed)
+	}
+	sess := profsession.NewWithConfig(profsession.Config{
+		Capacity:      *cacheCap,
+		StaleCapacity: *staleCap,
+		Profile:       profile,
+		Retry: profsession.RetryPolicy{
+			Attempts:       *retryAttempts,
+			Base:           *retryBase,
+			MaxDelay:       *retryMaxDelay,
+			Jitter:         0.2,
+			AttemptTimeout: *attemptTimeout,
+		},
+		Breaker: profsession.BreakerConfig{
+			Threshold: *breakThresh,
+			Cooldown:  *breakCooldown,
+		},
+	})
+
 	srv := server.New(server.Config{
-		Session:         profsession.New(*cacheCap),
+		Session:         sess,
 		MaxInflight:     *maxInflight,
 		MaxQueue:        *maxQueue,
 		QueueWait:       *queueWait,

@@ -153,6 +153,12 @@ type Report struct {
 	ParamsM   float64 `json:"params_m"`
 }
 
+// ProfileFunc is the signature of ProfileCtx — the seam where caching
+// sessions (profsession), fault injectors (faults.Wrap) and test stubs
+// interpose on the pipeline. Everything above the pipeline programs
+// against this type rather than the concrete function.
+type ProfileFunc func(context.Context, Options) (*Report, error)
+
 // Profile runs the full PRoof pipeline.
 func Profile(opts Options) (*Report, error) {
 	return ProfileCtx(context.Background(), opts)

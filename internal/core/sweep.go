@@ -51,14 +51,14 @@ func PlatformSweepCtx(ctx context.Context, model string, mode Mode) ([]PlatformR
 
 // PlatformSweepWith runs the sweep through a custom profiling function
 // (typically a caching session's ProfileCtx).
-func PlatformSweepWith(ctx context.Context, model string, mode Mode, profile func(context.Context, Options) (*Report, error)) ([]PlatformResult, error) {
+func PlatformSweepWith(ctx context.Context, model string, mode Mode, profile ProfileFunc) ([]PlatformResult, error) {
 	if profile == nil {
 		profile = ProfileCtx
 	}
 	return platformSweep(ctx, model, mode, profile)
 }
 
-func platformSweep(ctx context.Context, model string, mode Mode, profile func(context.Context, Options) (*Report, error)) (_ []PlatformResult, err error) {
+func platformSweep(ctx context.Context, model string, mode Mode, profile ProfileFunc) (_ []PlatformResult, err error) {
 	ctx, sp := obs.Start(ctx, "sweep")
 	sp.SetAttr("model", model)
 	sp.SetAttr("mode", string(mode))

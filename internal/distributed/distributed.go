@@ -123,19 +123,25 @@ type ScalingPoint struct {
 	// Throughput is global samples/s.
 	Throughput float64 `json:"throughput"`
 	// Efficiency is Throughput / (Devices x single-device throughput
-	// at the same per-device conditions).
+	// at the same per-device conditions), i.e. against a one-device
+	// baseline running BaselineBatch — the batch each device actually
+	// sees at this point. Comparing against the full global batch on
+	// one device would conflate batch-size throughput effects with
+	// scaling loss.
 	Efficiency float64 `json:"efficiency"`
+	// BaselineBatch is the per-device batch the baseline ran at
+	// (GlobalBatch / Devices).
+	BaselineBatch int `json:"baseline_batch"`
 }
 
 // ScalingCurve sweeps device counts (each must divide globalBatch).
+// Each point's baseline is a single device running that point's
+// per-device batch, so efficiency isolates pure scaling loss (the
+// host-link transfer) and is provably <= 1.
 func ScalingCurve(opts Options, deviceCounts []int) ([]ScalingPoint, error) {
-	single, err := Profile(Options{
-		Model: opts.Model, Platform: opts.Platform, Devices: 1,
-		GlobalBatch: opts.GlobalBatch, DType: opts.DType, HostLinkBW: opts.HostLinkBW,
-	})
-	if err != nil {
-		return nil, err
-	}
+	// One-device baselines keyed by per-device batch: device counts
+	// sharing a per-device batch share a baseline run.
+	baselines := map[int]*Result{}
 	var out []ScalingPoint
 	for _, n := range deviceCounts {
 		o := opts
@@ -144,11 +150,27 @@ func ScalingCurve(opts Options, deviceCounts []int) ([]ScalingPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		eff := 0.0
-		if single.Throughput > 0 {
-			eff = r.Throughput / (float64(n) * single.Throughput)
+		base, ok := baselines[r.PerDeviceBatch]
+		if !ok {
+			base, err = Profile(Options{
+				Model: opts.Model, Platform: opts.Platform, Devices: 1,
+				GlobalBatch: r.PerDeviceBatch, DType: opts.DType, HostLinkBW: opts.HostLinkBW,
+			})
+			if err != nil {
+				return nil, err
+			}
+			baselines[r.PerDeviceBatch] = base
 		}
-		out = append(out, ScalingPoint{Devices: n, Throughput: r.Throughput, Efficiency: eff})
+		eff := 0.0
+		if base.Throughput > 0 {
+			eff = r.Throughput / (float64(n) * base.Throughput)
+		}
+		out = append(out, ScalingPoint{
+			Devices:       n,
+			Throughput:    r.Throughput,
+			Efficiency:    eff,
+			BaselineBatch: r.PerDeviceBatch,
+		})
 	}
 	return out, nil
 }

@@ -66,6 +66,53 @@ func TestScalingCurve(t *testing.T) {
 	}
 }
 
+// TestScalingCurveBaselineIsPerDeviceBatch is the regression test for
+// the efficiency baseline: each point must be judged against one
+// device running that point's per-device batch ("the same per-device
+// conditions"), not the full global batch. The old full-batch baseline
+// conflated batch-size throughput effects with scaling loss, producing
+// efficiencies that were not comparable across device counts.
+func TestScalingCurveBaselineIsPerDeviceBatch(t *testing.T) {
+	opts := Options{Model: "resnet-50", Platform: "a100", GlobalBatch: 256}
+	points, err := ScalingCurve(opts, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.BaselineBatch*p.Devices != opts.GlobalBatch {
+			t.Errorf("devices %d: BaselineBatch = %d, want %d",
+				p.Devices, p.BaselineBatch, opts.GlobalBatch/p.Devices)
+		}
+		// Recompute the efficiency from an independent one-device run
+		// at the per-device batch; the stored value must match it
+		// exactly (the simulator is deterministic). The old code's
+		// full-batch baseline yields a different value for every
+		// point here.
+		base, err := Profile(Options{
+			Model: opts.Model, Platform: opts.Platform, Devices: 1,
+			GlobalBatch: p.BaselineBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.Throughput / (float64(p.Devices) * base.Throughput)
+		if diff := p.Efficiency - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("devices %d: Efficiency = %v, want %v (per-device-batch baseline)",
+				p.Devices, p.Efficiency, want)
+		}
+		// Against the matching baseline, scaling loss is the only
+		// difference, so efficiency is provably <= 1 (and real: the
+		// host link always costs something).
+		if p.Efficiency > 1+1e-9 {
+			t.Errorf("devices %d: efficiency %v > 1 — baseline conditions mismatch",
+				p.Devices, p.Efficiency)
+		}
+		if p.Efficiency <= 0 || p.Efficiency >= 1 {
+			t.Errorf("devices %d: efficiency %v, want in (0, 1)", p.Devices, p.Efficiency)
+		}
+	}
+}
+
 // TestDistributedEdgeCases locks the Options validation surface: every
 // rejected shape names what is wrong, every accepted shape profiles.
 func TestDistributedEdgeCases(t *testing.T) {

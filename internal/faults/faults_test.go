@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClassification(t *testing.T) {
+	base := errors.New("boom")
+	if !IsTransient(Transient(base)) {
+		t.Error("Transient(err) not classified transient")
+	}
+	if IsTransient(Permanent(base)) {
+		t.Error("Permanent(err) classified transient")
+	}
+	if IsTransient(base) {
+		t.Error("unclassified error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil classified transient")
+	}
+	// Wrapping chains unwrap.
+	wrapped := fmt.Errorf("attempt 3: %w", Transient(base))
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient not detected through the chain")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Error("Error does not unwrap to its cause")
+	}
+	if Transient(nil) != nil || Permanent(nil) != nil {
+		t.Error("wrapping nil must return nil")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		inj := New(Config{Seed: seed, ErrorRate: 0.5})
+		f := Wrap(inj, func(ctx context.Context, _ int) (int, error) { return 1, nil })
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := f(context.Background(), 0)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 64-call schedule")
+	}
+}
+
+func TestInjectorRatesAndClasses(t *testing.T) {
+	inj := New(Config{Seed: 1, ErrorRate: 0.5, TransientShare: 0.5})
+	f := Wrap(inj, func(ctx context.Context, _ int) (int, error) { return 1, nil })
+	const n = 2000
+	var failed int
+	for i := 0; i < n; i++ {
+		if _, err := f(context.Background(), 0); err != nil {
+			failed++
+			if !IsTransient(err) {
+				var fe *Error
+				if !errors.As(err, &fe) || fe.Class != ClassPermanent {
+					t.Fatalf("injected error has no class: %v", err)
+				}
+			}
+		}
+	}
+	if failed < n/3 || failed > 2*n/3 {
+		t.Errorf("error rate 0.5: %d/%d calls failed", failed, n)
+	}
+	st := inj.Stats()
+	if st.Calls != n {
+		t.Errorf("Calls = %d, want %d", st.Calls, n)
+	}
+	if int(st.Transient+st.Permanent) != failed {
+		t.Errorf("class counters %d+%d != failures %d", st.Transient, st.Permanent, failed)
+	}
+	if st.Transient == 0 || st.Permanent == 0 {
+		t.Errorf("TransientShare 0.5 produced one-sided classes: %+v", st)
+	}
+}
+
+func TestInjectorDisable(t *testing.T) {
+	inj := New(Config{Seed: 1, ErrorRate: 1})
+	f := Wrap(inj, func(ctx context.Context, _ int) (int, error) { return 42, nil })
+	if _, err := f(context.Background(), 0); err == nil {
+		t.Fatal("rate-1 injector let a call through")
+	}
+	inj.Disable()
+	v, err := f(context.Background(), 0)
+	if err != nil || v != 42 {
+		t.Fatalf("disabled injector interfered: v=%d err=%v", v, err)
+	}
+	inj.Enable()
+	if _, err := f(context.Background(), 0); err == nil {
+		t.Fatal("re-enabled injector let a call through")
+	}
+}
+
+func TestInjectorLatencySpike(t *testing.T) {
+	inj := New(Config{Seed: 1, LatencyRate: 1, Latency: 20 * time.Millisecond})
+	f := Wrap(inj, func(ctx context.Context, _ int) (int, error) { return 1, nil })
+	start := time.Now()
+	if _, err := f(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("latency spike not applied: call took %v", d)
+	}
+	// A cancelled context cuts the spike short.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := f(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("spiked call under expired ctx: err = %v", err)
+	}
+}
+
+func TestInjectorBlowthrough(t *testing.T) {
+	inj := New(Config{Seed: 1, BlowthroughRate: 1})
+	called := false
+	f := Wrap(inj, func(ctx context.Context, _ int) (int, error) { called = true; return 1, nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f(ctx, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blowthrough err = %v, want deadline exceeded", err)
+	}
+	if called {
+		t.Error("blowthrough still invoked the wrapped function")
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Error("blowthrough returned before the deadline")
+	}
+}
+
+// TestInjectorConcurrent exercises the injector from many goroutines
+// under -race.
+func TestInjectorConcurrent(t *testing.T) {
+	inj := New(Config{Seed: 3, ErrorRate: 0.3, TransientShare: 0.8})
+	f := Wrap(inj, func(ctx context.Context, _ int) (int, error) { return 1, nil })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, _ = f(context.Background(), i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := inj.Stats().Calls; got != 1600 {
+		t.Errorf("Calls = %d, want 1600", got)
+	}
+}

@@ -391,5 +391,6 @@ func All() []Analyzer {
 		NewMetricName(),
 		NewGoroutineTest(),
 		NewLockedCall(),
+		NewRetryCtx(),
 	}
 }

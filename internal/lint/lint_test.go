@@ -65,12 +65,14 @@ func TestGoroutineTestGolden(t *testing.T) { runFixture(t, "goroutinetest", NewG
 
 func TestLockedCallGolden(t *testing.T) { runFixture(t, "lockedcall", NewLockedCall()) }
 
-// TestAllAnalyzers locks the suite shape: five analyzers, unique
+func TestRetryCtxGolden(t *testing.T) { runFixture(t, "retryctx", NewRetryCtx()) }
+
+// TestAllAnalyzers locks the suite shape: six analyzers, unique
 // names, documented.
 func TestAllAnalyzers(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All() = %d analyzers, want 6", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

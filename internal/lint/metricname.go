@@ -15,6 +15,7 @@ var registryMethods = map[string]bool{
 	"CounterVec":   true,
 	"CounterFunc":  true,
 	"Gauge":        true,
+	"GaugeVec":     true,
 	"GaugeFunc":    true,
 	"Histogram":    true,
 	"HistogramVec": true,

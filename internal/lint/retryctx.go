@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RetryCtx flags retry-shaped loops — a for/range that sleeps between
+// iterations — that never consult their context between attempts. A
+// loop that sleeps with time.Sleep (or blocks on <-time.After) and
+// retries without checking ctx.Err() or ctx.Done() keeps burning
+// attempts after the caller has gone away: the request deadline
+// expires, the client disconnects, and the loop still sleeps, wakes
+// and re-executes. Every backoff loop must either select on the
+// context's Done channel while sleeping or check Err() before the
+// next attempt (parallel.Retry does both — use it).
+type RetryCtx struct{}
+
+// NewRetryCtx builds the analyzer.
+func NewRetryCtx() *RetryCtx { return &RetryCtx{} }
+
+func (*RetryCtx) Name() string { return "retryctx" }
+func (*RetryCtx) Doc() string {
+	return "retry loops that sleep between attempts must consult ctx.Err() or ctx.Done()"
+}
+
+func (*RetryCtx) Check(f *File, r *Reporter) {
+	if f.Test {
+		return // tests sleep freely; production loops carry the rule
+	}
+	funcBodies(f.AST, func(name string, fn ast.Node, body *ast.BlockStmt) {
+		walkSameFunc(body, func(n ast.Node) bool {
+			var loopBody *ast.BlockStmt
+			var pos token.Pos
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				loopBody, pos = loop.Body, loop.Pos()
+			case *ast.RangeStmt:
+				loopBody, pos = loop.Body, loop.Pos()
+			default:
+				return true
+			}
+			if loopSleeps(loopBody) && !loopConsultsCtx(loopBody) {
+				r.Report(pos,
+					"retry loop in %s sleeps between attempts without consulting ctx.Err() or ctx.Done()",
+					name)
+			}
+			return true // keep walking: loops nest
+		})
+	})
+}
+
+// loopSleeps reports whether the loop's own body (nested closures
+// excluded) blocks in a backoff-shaped way: time.Sleep, or a receive
+// from time.After / time.Tick.
+func loopSleeps(body *ast.BlockStmt) bool {
+	found := false
+	walkSameFunc(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isPkgCall(x, "time", "Sleep") {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if call, ok := x.X.(*ast.CallExpr); ok &&
+					(isPkgCall(call, "time", "After") || isPkgCall(call, "time", "Tick")) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopConsultsCtx reports whether the loop body observes context
+// cancellation: any call to a method named Err or Done (by syntax —
+// context values are the only receivers spelling both in this repo).
+func loopConsultsCtx(body *ast.BlockStmt) bool {
+	found := false
+	walkSameFunc(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := methodName(call); name == "Err" || name == "Done" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

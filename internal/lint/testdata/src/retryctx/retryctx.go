@@ -1,0 +1,116 @@
+// Package retryctx is a prooflint fixture; it is parsed, never built.
+package retryctx
+
+import (
+	"context"
+	"time"
+)
+
+func attempt() error { return nil }
+
+// RetryNoCtx sleeps between attempts and never looks at the context.
+func RetryNoCtx(ctx context.Context) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond << i)
+	}
+	return err
+}
+
+// RetryAfterNoCtx blocks on time.After instead of time.Sleep — the
+// same uncancellable backoff in channel clothing.
+func RetryAfterNoCtx(items []int) {
+	for range items {
+		if attempt() == nil {
+			return
+		}
+		<-time.After(time.Millisecond)
+	}
+}
+
+// RetryWithErr checks ctx.Err() before every attempt.
+func RetryWithErr(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt() == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// RetryWithDone selects on the context while backing off.
+func RetryWithDone(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if attempt() == nil {
+			return nil
+		}
+		select {
+		case <-time.After(time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// NoSleep retries hot; pacing is someone else's problem, not this
+// analyzer's.
+func NoSleep() {
+	for i := 0; i < 3; i++ {
+		if attempt() == nil {
+			return
+		}
+	}
+}
+
+// SleepOutsideLoop sleeps once before a loop that never sleeps.
+func SleepOutsideLoop() {
+	time.Sleep(time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if attempt() == nil {
+			return
+		}
+	}
+}
+
+// ClosureSleeps builds a closure that sleeps; the loop itself does not
+// block, the closure blocks whoever calls it later.
+func ClosureSleeps() []func() {
+	var fns []func()
+	for i := 0; i < 3; i++ {
+		fns = append(fns, func() { time.Sleep(time.Millisecond) })
+	}
+	return fns
+}
+
+// NestedBadLoop hides the uncancellable retry inside an outer loop
+// that is itself fine.
+func NestedBadLoop(ctx context.Context, jobs []int) {
+	for range jobs {
+		if ctx.Err() != nil {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			if attempt() == nil {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// Ignored is exempted with a reason on the loop itself (diagnostics
+// anchor at the for statement, not the function).
+func Ignored() {
+	//lint:ignore retryctx fixture demonstrates suppression
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}

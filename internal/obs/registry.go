@@ -247,6 +247,20 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.with(nil, func() metric { return &Gauge{} }).(*Gauge)
 }
 
+// GaugeVec is a gauge family with label dimensions.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family — e.g. one
+// circuit-breaker state gauge per (model, platform) key.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.mustLookup(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for one label-value combination.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.with(labelValues, func() metric { return &Gauge{} }).(*Gauge)
+}
+
 // GaugeFunc registers a gauge whose value is computed at render time —
 // the natural fit for point-in-time state owned elsewhere (cache size,
 // in-flight request count). Registering the same name twice returns

@@ -50,6 +50,33 @@ func TestRegistryExposition(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("test_breaker_state", "Breaker state.", "key")
+	gv.With("resnet|a100").Set(2)
+	gv.With("bert|orin").Set(0)
+	// Same label values return the same series.
+	gv.With("resnet|a100").Set(1)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE test_breaker_state gauge",
+		`test_breaker_state{key="resnet|a100"} 1`,
+		`test_breaker_state{key="bert|orin"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// Idempotent re-registration shares the family.
+	gv2 := r.GaugeVec("test_breaker_state", "Breaker state.", "key")
+	if gv2.With("resnet|a100").Value() != 1 {
+		t.Error("re-registered GaugeVec does not share series state")
+	}
+}
+
 func TestRegistryIdempotentRegistration(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("dup_total", "first")

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff shapes the delay schedule of Retry: capped exponential
+// growth with optional jitter. The zero value means "one attempt, no
+// delays" — callers opt in to every retry.
+type Backoff struct {
+	// Attempts is the total number of tries, including the first
+	// (values < 1 behave as 1).
+	Attempts int
+	// Base is the delay before the first retry; each subsequent
+	// retry doubles it.
+	Base time.Duration
+	// Max caps the grown delay (0 = uncapped).
+	Max time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (e.g. 0.2 =
+	// ±20%), de-synchronizing retry herds. 0 disables jitter, which
+	// also makes schedules deterministic for tests.
+	Jitter float64
+}
+
+// delay returns the pause after the attempt-th try (1-based).
+func (b Backoff) delay(attempt int) time.Duration {
+	d := b.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 && d > 0 {
+		f := 1 + b.Jitter*(2*rand.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Retry runs f up to b.Attempts times, sleeping the backoff schedule
+// between failures, until f succeeds, the error is not retryable, or
+// the context ends. f receives the 1-based attempt number; retryable
+// decides whether a given failure is worth another try (nil means
+// never retry). The context is consulted before every attempt and
+// during every backoff sleep, so a cancelled caller stops the loop
+// immediately; cancellation during a sleep surfaces the last
+// attempt's error (the real failure), not the context error.
+func Retry[R any](ctx context.Context, b Backoff, retryable func(error) bool, f func(ctx context.Context, attempt int) (R, error)) (R, error) {
+	var zero R
+	attempts := b.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		r, err := f(ctx, attempt)
+		if err == nil {
+			return r, nil
+		}
+		if attempt >= attempts || retryable == nil || !retryable(err) {
+			return zero, err
+		}
+		if !sleepCtx(ctx, b.delay(attempt)) {
+			return zero, err
+		}
+	}
+}
+
+// sleepCtx pauses for d, returning false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

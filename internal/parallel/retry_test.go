@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+func alwaysRetry(error) bool { return true }
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	v, err := Retry(context.Background(), Backoff{Attempts: 5},
+		alwaysRetry,
+		func(ctx context.Context, attempt int) (string, error) {
+			calls++
+			if attempt != calls {
+				t.Errorf("attempt = %d on call %d", attempt, calls)
+			}
+			if calls < 3 {
+				return "", errTransient
+			}
+			return "ok", nil
+		})
+	if err != nil || v != "ok" {
+		t.Fatalf("Retry = %q, %v", v, err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	_, err := Retry(context.Background(), Backoff{Attempts: 3}, alwaysRetry,
+		func(ctx context.Context, _ int) (int, error) { calls++; return 0, errTransient })
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want the attempt error", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	_, err := Retry(context.Background(), Backoff{Attempts: 5},
+		func(err error) bool { return errors.Is(err, errTransient) },
+		func(ctx context.Context, _ int) (int, error) { calls++; return 0, permanent })
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("non-retryable: calls = %d err = %v, want 1 call", calls, err)
+	}
+	// nil retryable means a single attempt even with Attempts > 1.
+	calls = 0
+	if _, err := Retry(context.Background(), Backoff{Attempts: 5}, nil,
+		func(ctx context.Context, _ int) (int, error) { calls++; return 0, errTransient }); err == nil || calls != 1 {
+		t.Fatalf("nil retryable: calls = %d err = %v", calls, err)
+	}
+}
+
+func TestRetryConsultsContext(t *testing.T) {
+	// Pre-cancelled: f never runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := Retry(ctx, Backoff{Attempts: 3}, alwaysRetry,
+		func(ctx context.Context, _ int) (int, error) { calls++; return 0, errTransient })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("pre-cancelled: calls = %d err = %v", calls, err)
+	}
+	// Cancelled during backoff: the attempt error surfaces, and the
+	// loop stops instead of sleeping out the schedule.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls = 0
+	start := time.Now()
+	_, err = Retry(ctx2, Backoff{Attempts: 10, Base: time.Hour}, alwaysRetry,
+		func(ctx context.Context, _ int) (int, error) {
+			calls++
+			cancel2()
+			return 0, errTransient
+		})
+	if !errors.Is(err, errTransient) {
+		t.Errorf("cancel during backoff: err = %v, want attempt error", err)
+	}
+	if calls != 1 {
+		t.Errorf("cancel during backoff: calls = %d, want 1", calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancel during backoff did not interrupt the sleep")
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Attempts: 10, Base: 10 * time.Millisecond, Max: 45 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // after attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		45 * time.Millisecond, // capped
+		45 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.delay(i + 1); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Jitter stays within ±fraction.
+	j := Backoff{Base: 100 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := j.delay(1)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside ±50%% of 100ms", d)
+		}
+	}
+	// Zero value: one attempt, zero delay.
+	if d := (Backoff{}).delay(1); d != 0 {
+		t.Errorf("zero backoff delay = %v", d)
+	}
+}

@@ -181,6 +181,27 @@ type TuneResult struct {
 	Optimal WorkloadResult
 }
 
+// ChooseEMC walks the candidate memory clocks in the given order
+// (descending, as AnalyzeEMC sorts them) and returns the last clock
+// before the first one whose AffectedShare exceeds threshold. §4.6
+// lowers the memory clock only while the bandwidth line stays above
+// (nearly) all of the workload; once a candidate clips too much, every
+// lower clock clips at least that region too, so the walk stops there
+// — it must not keep scanning and adopt a later candidate that merely
+// looks acceptable because AffectedShare is not guaranteed monotonic
+// (layers cluster in bandwidth bands). fallbackMHz is returned when
+// even the first candidate is unacceptable.
+func ChooseEMC(analyses []EMCAnalysis, fallbackMHz int, threshold float64) int {
+	chosen := fallbackMHz
+	for _, a := range analyses {
+		if a.AffectedShare > threshold {
+			break
+		}
+		chosen = a.EMCMHz
+	}
+	return chosen
+}
+
 // Tune runs the §4.6 workflow for a workload on a DVFS platform under a
 // power budget. affectedThreshold is the maximum tolerable latency
 // share above a candidate memory clock's bandwidth line (the paper
@@ -201,11 +222,9 @@ func Tune(platform, model string, batch int, dt graph.DataType, budgetW, affecte
 	if err != nil {
 		return nil, err
 	}
-	res := &TuneResult{EMCAnalyses: analyses, ChosenEMCMHz: plat.Clocks.EMCMaxMHz}
-	for _, a := range analyses { // descending EMC: take the lowest acceptable
-		if a.AffectedShare <= affectedThreshold {
-			res.ChosenEMCMHz = a.EMCMHz
-		}
+	res := &TuneResult{
+		EMCAnalyses:  analyses,
+		ChosenEMCMHz: ChooseEMC(analyses, plat.Clocks.EMCMaxMHz, affectedThreshold),
 	}
 
 	// Step 3: binary-search the GPU clock options for the highest

@@ -89,6 +89,46 @@ func TestTuneMatchesPaperChoice(t *testing.T) {
 	}
 }
 
+// TestChooseEMCStopsAtFirstUnacceptable is the regression test for the
+// §4.6 selection walk. The old loop kept scanning past an unacceptable
+// candidate and adopted ANY later clock whose share happened to dip
+// back under the threshold — with a non-monotonic AffectedShare
+// sequence it picked a memory clock whose bandwidth line provably
+// clips the workload at every clock above it.
+func TestChooseEMCStopsAtFirstUnacceptable(t *testing.T) {
+	tests := []struct {
+		name      string
+		shares    []float64
+		threshold float64
+		want      int // index into clocks, -1 = fallback
+	}{
+		// Non-monotonic dip after an unacceptable candidate: the walk
+		// must stop at 2133, not resurrect 665. (Old code returned 665.)
+		{"dip after rejection", []float64{0.01, 0.05, 0.25, 0.05}, 0.10, 1},
+		{"monotonic lowering", []float64{0.01, 0.05, 0.08}, 0.10, 2},
+		{"first candidate unacceptable", []float64{0.50, 0.60}, 0.10, -1},
+		{"all acceptable", []float64{0.0, 0.0, 0.0}, 0.10, 2},
+	}
+	clocks := []int{3199, 2133, 1600, 665}
+	const fallback = 9999
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var analyses []EMCAnalysis
+			for i, s := range tt.shares {
+				analyses = append(analyses, EMCAnalysis{EMCMHz: clocks[i], AffectedShare: s})
+			}
+			want := fallback
+			if tt.want >= 0 {
+				want = clocks[tt.want]
+			}
+			if got := ChooseEMC(analyses, fallback, tt.threshold); got != want {
+				t.Errorf("ChooseEMC(%v, thr %.2f) = %d, want %d",
+					tt.shares, tt.threshold, got, want)
+			}
+		})
+	}
+}
+
 func TestTuneBeatsStockProfiles(t *testing.T) {
 	res, err := Tune(platform, workload, batch, graph.Float16, 15.0, 0.45)
 	if err != nil {

@@ -17,7 +17,45 @@ func RegisterMetrics(reg *obs.Registry, prefix string, s *Session) error {
 		return nil
 	}
 	p := prefix + "_session_"
-	return errors.Join(
+	errs := []error{
+		reg.CounterFunc(p+"retries_total",
+			"Re-attempts of transiently failed pipeline executions.",
+			func() float64 { return float64(s.retries.Load()) }),
+		reg.CounterFunc(p+"retries_exhausted_total",
+			"Executions that failed transiently on every configured attempt.",
+			func() float64 { return float64(s.retriesExhausted.Load()) }),
+		reg.CounterFunc(p+"stale_hits_total",
+			"Degraded reads served from the last-known-good store.",
+			func() float64 { return float64(s.staleHits.Load()) }),
+		reg.GaugeFunc(p+"stale_size",
+			"Reports in the last-known-good store.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(s.staleOrder.Len())
+			}),
+	}
+	if bs := s.breakers; bs != nil {
+		bs.mu.Lock()
+		bs.gauge = reg.GaugeVec(p+"breaker_state",
+			"Circuit state per model|platform key: 0 closed, 1 half-open, 2 open.", "key")
+		bs.mu.Unlock()
+		errs = append(errs,
+			reg.CounterFunc(p+"breaker_opens_total",
+				"Circuits opened from the closed state.",
+				func() float64 { o, _, _, _ := bs.snapshot(); return float64(o) }),
+			reg.CounterFunc(p+"breaker_reopens_total",
+				"Half-open probes that failed and re-opened the circuit.",
+				func() float64 { _, r, _, _ := bs.snapshot(); return float64(r) }),
+			reg.CounterFunc(p+"breaker_closes_total",
+				"Circuits closed by a successful probe.",
+				func() float64 { _, _, c, _ := bs.snapshot(); return float64(c) }),
+			reg.CounterFunc(p+"breaker_fast_fails_total",
+				"Requests rejected fast on an open or probing circuit.",
+				func() float64 { _, _, _, ff := bs.snapshot(); return float64(ff) }),
+		)
+	}
+	errs = append(errs,
 		reg.CounterFunc(p+"hits_total",
 			"Profiling requests served from the report cache.",
 			func() float64 { return float64(s.hits.Load()) }),
@@ -54,4 +92,5 @@ func RegisterMetrics(reg *obs.Registry, prefix string, s *Session) error {
 				return h / total
 			}),
 	)
+	return errors.Join(errs...)
 }

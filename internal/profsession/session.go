@@ -12,16 +12,88 @@ package profsession
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"proof/internal/core"
+	"proof/internal/faults"
 	"proof/internal/obs"
+	"proof/internal/parallel"
 )
 
 // DefaultCapacity is the report-cache capacity used when a Session is
 // created with capacity <= 0.
 const DefaultCapacity = 256
+
+// RetryPolicy configures transient-failure retries of pipeline
+// executions. Retries happen below the cache and inside the
+// singleflight slot: duplicate waiters keep sharing the one (retrying)
+// execution, and only a final success is ever cached.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per execution, including
+	// the first; <= 1 disables retrying.
+	Attempts int
+	// Base is the delay before the first retry, doubling per attempt
+	// (0 selects 50ms).
+	Base time.Duration
+	// MaxDelay caps the grown delay (0 selects 2s).
+	MaxDelay time.Duration
+	// Jitter randomizes each delay by ±fraction (see
+	// parallel.Backoff.Jitter).
+	Jitter float64
+	// AttemptTimeout bounds each individual attempt, so one hung
+	// attempt (a deadline blowthrough in a lower layer) burns only
+	// its slice of the request budget instead of all of it. 0 means
+	// attempts share the caller's deadline. When set, a per-attempt
+	// deadline expiry counts as transient (the next attempt may be
+	// faster); the caller's own deadline is always respected.
+	AttemptTimeout time.Duration
+}
+
+func (p RetryPolicy) backoff() parallel.Backoff {
+	b := parallel.Backoff{Attempts: p.Attempts, Base: p.Base, Max: p.MaxDelay, Jitter: p.Jitter}
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	return b
+}
+
+// retryableClass reports whether err is worth another attempt on its
+// own merits (ignoring the caller's context state).
+func (p RetryPolicy) retryableClass(err error) bool {
+	if faults.IsTransient(err) {
+		return true
+	}
+	// With a per-attempt timeout, an attempt-level deadline expiry is
+	// transient by construction; without one, DeadlineExceeded means
+	// the caller's own budget is gone.
+	return p.AttemptTimeout > 0 && errors.Is(err, context.DeadlineExceeded)
+}
+
+// Config assembles a Session with the full resilience stack. The zero
+// value of every field selects a sane default; Session s built by New
+// use a zero Retry (no retries) and no breaker.
+type Config struct {
+	// Capacity is the report-cache capacity (<= 0 selects
+	// DefaultCapacity).
+	Capacity int
+	// StaleCapacity bounds the last-known-good store that backs
+	// degraded serving (<= 0 selects 4x Capacity). Unlike the main
+	// cache it survives Reset, so a flushed or crashed-over cache can
+	// still serve stale reports while live profiling recovers.
+	StaleCapacity int
+	// Profile executes a cache miss (nil selects core.ProfileCtx).
+	Profile core.ProfileFunc
+	// Retry is the transient-failure retry policy.
+	Retry RetryPolicy
+	// Breaker enables the per-(model, platform) circuit breaker.
+	Breaker BreakerConfig
+}
 
 // Stats is a point-in-time snapshot of a Session's counters.
 type Stats struct {
@@ -40,6 +112,17 @@ type Stats struct {
 	Size int `json:"size"`
 	// Capacity is the cache capacity.
 	Capacity int `json:"capacity"`
+	// Retries counts re-attempts of transiently failed executions.
+	Retries int64 `json:"retries"`
+	// RetriesExhausted counts executions that failed transiently on
+	// every configured attempt.
+	RetriesExhausted int64 `json:"retries_exhausted"`
+	// StaleHits counts degraded reads served from the
+	// last-known-good store.
+	StaleHits int64 `json:"stale_hits"`
+	// StaleSize is the number of reports in the last-known-good
+	// store.
+	StaleSize int `json:"stale_size"`
 }
 
 // Outcome classifies how a request was served — the per-request
@@ -55,6 +138,9 @@ const (
 	OutcomeMiss Outcome = "miss"
 	// OutcomeDedup: attached to an identical in-flight execution.
 	OutcomeDedup Outcome = "dedup"
+	// OutcomeRejected: failed fast on an open circuit, without
+	// executing the pipeline (the error is a *CircuitOpenError).
+	OutcomeRejected Outcome = "rejected"
 )
 
 // call is one in-flight pipeline execution that duplicate requests wait
@@ -69,14 +155,25 @@ type call struct {
 // use; the zero value is not usable — construct with New.
 type Session struct {
 	capacity int
-	profile  func(context.Context, core.Options) (*core.Report, error)
+	profile  core.ProfileFunc
+	retry    RetryPolicy
+	breakers *breakerSet // nil when the breaker is disabled
 
 	mu       sync.Mutex
 	order    *list.List // front = most recently used; values are *entry
 	entries  map[string]*list.Element
 	inflight map[string]*call
 
+	// Last-known-good store for degraded serving: its own LRU,
+	// deliberately decoupled from the main cache's eviction and Reset
+	// (same *core.Report values — reports are immutable once cached,
+	// cloned on the way out).
+	staleCap     int
+	staleOrder   *list.List
+	staleEntries map[string]*list.Element
+
 	hits, misses, evictions, dedups, running atomic.Int64
+	retries, retriesExhausted, staleHits     atomic.Int64
 }
 
 type entry struct {
@@ -85,27 +182,43 @@ type entry struct {
 }
 
 // New creates a session with the given report-cache capacity
-// (<= 0 selects DefaultCapacity).
+// (<= 0 selects DefaultCapacity), no retries and no breaker.
 func New(capacity int) *Session {
-	if capacity <= 0 {
-		capacity = DefaultCapacity
-	}
-	return &Session{
-		capacity: capacity,
-		profile:  core.ProfileCtx,
-		order:    list.New(),
-		entries:  make(map[string]*list.Element),
-		inflight: make(map[string]*call),
-	}
+	return NewWithConfig(Config{Capacity: capacity})
 }
 
 // NewWithProfiler creates a session that executes misses through a
 // custom profiling function — used by tests to count and delay
 // executions.
-func NewWithProfiler(capacity int, profile func(context.Context, core.Options) (*core.Report, error)) *Session {
-	s := New(capacity)
-	if profile != nil {
-		s.profile = profile
+func NewWithProfiler(capacity int, profile core.ProfileFunc) *Session {
+	return NewWithConfig(Config{Capacity: capacity, Profile: profile})
+}
+
+// NewWithConfig creates a session with the full resilience
+// configuration: retry policy, circuit breaker and stale-store bound.
+func NewWithConfig(cfg Config) *Session {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.StaleCapacity <= 0 {
+		cfg.StaleCapacity = 4 * cfg.Capacity
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = core.ProfileCtx
+	}
+	s := &Session{
+		capacity:     cfg.Capacity,
+		profile:      cfg.Profile,
+		retry:        cfg.Retry,
+		order:        list.New(),
+		entries:      make(map[string]*list.Element),
+		inflight:     make(map[string]*call),
+		staleCap:     cfg.StaleCapacity,
+		staleOrder:   list.New(),
+		staleEntries: make(map[string]*list.Element),
+	}
+	if cfg.Breaker.Threshold > 0 {
+		s.breakers = newBreakerSet(cfg.Breaker)
 	}
 	return s
 }
@@ -178,6 +291,13 @@ func (s *Session) profileOutcome(ctx context.Context, opts core.Options) (*core.
 		}
 		return cloneReport(c.rep), OutcomeDedup, nil
 	}
+	bkey := breakerKey(opts)
+	if s.breakers != nil {
+		if after, ok := s.breakers.allow(bkey); !ok {
+			s.mu.Unlock()
+			return nil, OutcomeRejected, &CircuitOpenError{Key: bkey, RetryAfter: after}
+		}
+	}
 	c := &call{done: make(chan struct{})}
 	s.inflight[key] = c
 	s.mu.Unlock()
@@ -188,13 +308,28 @@ func (s *Session) profileOutcome(ctx context.Context, opts core.Options) (*core.
 	if run.Graph != nil {
 		run.Graph = run.Graph.Clone()
 	}
-	rep, err := s.profile(ctx, run)
+	rep, err := s.execute(ctx, run)
 	c.rep, c.err = rep, err
+
+	if s.breakers != nil {
+		switch {
+		case err == nil:
+			s.breakers.record(bkey, verdictSuccess)
+		case ctx.Err() != nil:
+			// The requester is gone; cancellation races any real
+			// failure, so don't let an abandoned request move the
+			// circuit (but do release a half-open probe slot).
+			s.breakers.record(bkey, verdictAbandoned)
+		default:
+			s.breakers.record(bkey, verdictFailure)
+		}
+	}
 
 	s.mu.Lock()
 	delete(s.inflight, key)
 	if err == nil {
 		s.insertLocked(key, rep)
+		s.storeStaleLocked(key, rep)
 	}
 	s.mu.Unlock()
 	s.running.Add(-1)
@@ -204,6 +339,85 @@ func (s *Session) profileOutcome(ctx context.Context, opts core.Options) (*core.
 		return nil, OutcomeMiss, err
 	}
 	return cloneReport(rep), OutcomeMiss, nil
+}
+
+// execute runs one pipeline execution under the session's retry
+// policy: transient failures (faults.ClassTransient, or per-attempt
+// timeouts when AttemptTimeout is set) are retried with capped
+// exponential backoff and jitter, each attempt under its own timeout
+// and "attempt" span. Retrying happens inside the singleflight slot,
+// so duplicate requests share the whole retrying execution, and only
+// the final result is ever considered for caching.
+func (s *Session) execute(ctx context.Context, run core.Options) (*core.Report, error) {
+	pol := s.retry
+	if pol.Attempts <= 1 && pol.AttemptTimeout <= 0 {
+		return s.profile(ctx, run)
+	}
+	retryable := func(err error) bool {
+		if ctx.Err() != nil {
+			return false // the caller is gone; stop retrying
+		}
+		if !pol.retryableClass(err) {
+			return false
+		}
+		s.retries.Add(1)
+		return true
+	}
+	rep, err := parallel.Retry(ctx, pol.backoff(), retryable,
+		func(ctx context.Context, attempt int) (*core.Report, error) {
+			actx := ctx
+			cancel := func() {}
+			if pol.AttemptTimeout > 0 {
+				actx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
+			}
+			defer cancel()
+			actx, sp := obs.Start(actx, "attempt")
+			sp.SetAttrInt("attempt", int64(attempt))
+			rep, err := s.profile(actx, run)
+			sp.EndErr(err)
+			return rep, err
+		})
+	if err != nil && ctx.Err() == nil && pol.retryableClass(err) {
+		// A retryable failure survived every attempt.
+		s.retriesExhausted.Add(1)
+	}
+	return rep, err
+}
+
+// storeStaleLocked records a successful report in the last-known-good
+// store. s.mu must be held.
+func (s *Session) storeStaleLocked(key string, rep *core.Report) {
+	if el, ok := s.staleEntries[key]; ok {
+		s.staleOrder.MoveToFront(el)
+		el.Value.(*entry).rep = rep
+		return
+	}
+	s.staleEntries[key] = s.staleOrder.PushFront(&entry{key: key, rep: rep})
+	for s.staleOrder.Len() > s.staleCap {
+		oldest := s.staleOrder.Back()
+		s.staleOrder.Remove(oldest)
+		delete(s.staleEntries, oldest.Value.(*entry).key)
+	}
+}
+
+// StaleFor returns the last successful report for an options value, if
+// any — the degraded-serving fallback when live profiling fails. The
+// store survives cache Reset and main-LRU eviction (within its own,
+// larger bound), and the returned report is a deep copy.
+func (s *Session) StaleFor(opts core.Options) (*core.Report, bool) {
+	key, err := Fingerprint(opts)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.staleEntries[key]
+	if !ok {
+		return nil, false
+	}
+	s.staleOrder.MoveToFront(el)
+	s.staleHits.Add(1)
+	return cloneReport(el.Value.(*entry).rep), true
 }
 
 // insertLocked stores a report under key and applies the LRU bound.
@@ -227,20 +441,27 @@ func (s *Session) insertLocked(key string, rep *core.Report) {
 func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	size := s.order.Len()
+	staleSize := s.staleOrder.Len()
 	s.mu.Unlock()
 	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: s.evictions.Load(),
-		Dedups:    s.dedups.Load(),
-		Inflight:  s.running.Load(),
-		Size:      size,
-		Capacity:  s.capacity,
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Evictions:        s.evictions.Load(),
+		Dedups:           s.dedups.Load(),
+		Inflight:         s.running.Load(),
+		Size:             size,
+		Capacity:         s.capacity,
+		Retries:          s.retries.Load(),
+		RetriesExhausted: s.retriesExhausted.Load(),
+		StaleHits:        s.staleHits.Load(),
+		StaleSize:        staleSize,
 	}
 }
 
 // Reset empties the cache. Counters are preserved (they are lifetime
-// totals); in-flight executions are unaffected.
+// totals); in-flight executions are unaffected. The last-known-good
+// store deliberately survives: Reset flushes what the session will
+// serve as fresh, not what it can fall back on when profiling breaks.
 func (s *Session) Reset() {
 	s.mu.Lock()
 	s.order.Init()

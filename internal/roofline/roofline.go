@@ -7,6 +7,7 @@
 package roofline
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"time"
@@ -62,8 +63,13 @@ func (m Model) RidgeAI() float64 {
 }
 
 // AttainableFLOPS returns the roofline ceiling at a given arithmetic
-// intensity: min(peak, AI x BW).
+// intensity: min(peak, AI x BW). An infinite intensity sits under the
+// flat compute roof (guarding the Inf x 0 = NaN case when PeakBW is
+// also degenerate).
 func (m Model) AttainableFLOPS(ai float64) float64 {
+	if math.IsInf(ai, 1) {
+		return m.PeakFLOPS
+	}
 	return math.Min(m.PeakFLOPS, ai*m.PeakBW)
 }
 
@@ -95,7 +101,39 @@ type Point struct {
 	Bound string `json:"bound"`
 }
 
-// NewPoint derives a roofline point from raw measurements.
+// MarshalJSON renders the point with a nullable AI: a zero-byte point
+// carries AI = +Inf, which encoding/json cannot represent — without
+// this, one such layer would turn a whole valid report into an
+// encoding error at the service edge. Finite AIs encode as plain
+// numbers, byte-identical to the default encoding.
+func (p Point) MarshalJSON() ([]byte, error) {
+	// Mirrors Point field-for-field (same order, same tags) so finite
+	// points keep their exact wire form; keep in sync with the struct.
+	wire := struct {
+		Name      string        `json:"name"`
+		AI        *float64      `json:"ai"`
+		FLOPS     float64       `json:"flops"`
+		Bandwidth float64       `json:"bandwidth"`
+		Latency   time.Duration `json:"latency_ns"`
+		Share     float64       `json:"share"`
+		FLOP      int64         `json:"flop"`
+		Bytes     int64         `json:"bytes"`
+		Category  string        `json:"category,omitempty"`
+		Bound     string        `json:"bound"`
+	}{p.Name, nil, p.FLOPS, p.Bandwidth, p.Latency, p.Share, p.FLOP, p.Bytes, p.Category, p.Bound}
+	if !math.IsInf(p.AI, 0) && !math.IsNaN(p.AI) {
+		wire.AI = &p.AI
+	}
+	return json.Marshal(wire)
+}
+
+// NewPoint derives a roofline point from raw measurements. A point
+// with memory traffic but no arithmetic (flop == 0, bytes > 0) has
+// AI 0 and classifies memory-bound; a point with arithmetic but zero
+// traffic (flop > 0, bytes == 0) has infinite intensity and classifies
+// compute-bound — the bandwidth ceiling can never bind it. A point
+// with neither stays at the neutral "ridge" label: there is no work to
+// position against either ceiling.
 func NewPoint(name string, flop, bytes int64, latency time.Duration, m Model) Point {
 	p := Point{Name: name, FLOP: flop, Bytes: bytes, Latency: latency}
 	sec := latency.Seconds()
@@ -103,16 +141,38 @@ func NewPoint(name string, flop, bytes int64, latency time.Duration, m Model) Po
 		p.FLOPS = float64(flop) / sec
 		p.Bandwidth = float64(bytes) / sec
 	}
-	if bytes > 0 {
+	switch {
+	case bytes > 0:
 		p.AI = float64(flop) / float64(bytes)
+	case flop > 0:
+		p.AI = math.Inf(1)
+	default:
+		p.Bound = "ridge"
+		return p
 	}
 	p.Bound = m.ClassifyBound(p.AI)
 	return p
 }
 
 // ClassifyBound reports whether an arithmetic intensity is left of the
-// ridge (memory-bound), right of it (compute-bound) or at it.
+// ridge (memory-bound), right of it (compute-bound) or at it (within
+// ±5%). Degenerate ceilings classify against the one ceiling that
+// exists: with no compute roof every finite-intensity point is
+// positioned against the bandwidth line ("memory"), with no bandwidth
+// line everything is under the compute roof ("compute"), and with
+// neither there is nothing to classify against ("ridge"). An infinite
+// intensity (zero memory traffic) is always compute-bound.
 func (m Model) ClassifyBound(ai float64) string {
+	switch {
+	case m.PeakFLOPS == 0 && m.PeakBW == 0:
+		return "ridge"
+	case m.PeakFLOPS == 0:
+		return "memory"
+	case m.PeakBW == 0:
+		return "compute"
+	case math.IsInf(ai, 1):
+		return "compute"
+	}
 	ridge := m.RidgeAI()
 	switch {
 	case ai < ridge*0.95:

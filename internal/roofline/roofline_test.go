@@ -2,7 +2,9 @@ package roofline
 
 import (
 	"context"
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -79,6 +81,106 @@ func TestNewPoint(t *testing.T) {
 	z := NewPoint("z", 1, 1, 0, m)
 	if z.FLOPS != 0 {
 		t.Error("zero-latency point should have zero rate")
+	}
+}
+
+// TestPointEdgeQuadrants covers the four (flop, bytes) zero/non-zero
+// quadrants of NewPoint. Pre-fix, a zero-byte point got AI = 0 and
+// was classified "memory"-bound despite having zero memory traffic.
+func TestPointEdgeQuadrants(t *testing.T) {
+	m := a100Model(t)
+	ridge := m.RidgeAI()
+	tests := []struct {
+		name      string
+		flop      int64
+		bytes     int64
+		wantAI    float64
+		wantBound string
+	}{
+		{"both positive", int64(ridge) * 1e8, 1e8, ridge, "ridge"},
+		{"zero bytes", 2e9, 0, math.Inf(1), "compute"},
+		{"zero flop", 0, 1e8, 0, "memory"},
+		{"zero work", 0, 0, 0, "ridge"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := NewPoint(tt.name, tt.flop, tt.bytes, time.Millisecond, m)
+			if math.IsInf(tt.wantAI, 1) {
+				if !math.IsInf(p.AI, 1) {
+					t.Errorf("AI = %v, want +Inf", p.AI)
+				}
+			} else if math.Abs(p.AI-tt.wantAI) > tt.wantAI*0.01+1e-12 {
+				t.Errorf("AI = %v, want ~%v", p.AI, tt.wantAI)
+			}
+			if p.Bound != tt.wantBound {
+				t.Errorf("Bound = %q, want %q", p.Bound, tt.wantBound)
+			}
+		})
+	}
+}
+
+// TestClassifyBoundDegenerateCeilings covers ceilings of zero.
+// Pre-fix, PeakFLOPS == 0 made RidgeAI() == 0 so any positive
+// intensity reported "compute" against a nonexistent compute roof,
+// and PeakBW == 0 sent every finite point to "memory".
+func TestClassifyBoundDegenerateCeilings(t *testing.T) {
+	tests := []struct {
+		name  string
+		model Model
+		ai    float64
+		want  string
+	}{
+		{"no compute roof", Model{PeakBW: 1e9}, 50, "memory"},
+		{"no compute roof, infinite ai", Model{PeakBW: 1e9}, math.Inf(1), "memory"},
+		{"no bandwidth line", Model{PeakFLOPS: 1e12}, 50, "compute"},
+		{"no ceilings at all", Model{}, 50, "ridge"},
+		{"real ceilings, infinite ai", Model{PeakFLOPS: 1e12, PeakBW: 1e9}, math.Inf(1), "compute"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.model.ClassifyBound(tt.ai); got != tt.want {
+				t.Errorf("ClassifyBound(%v) = %q, want %q", tt.ai, got, tt.want)
+			}
+		})
+	}
+	// The attainable ceiling under an infinite intensity is the flat
+	// compute roof, never NaN.
+	m := Model{PeakFLOPS: 1e12}
+	if got := m.AttainableFLOPS(math.Inf(1)); got != 1e12 || math.IsNaN(got) {
+		t.Errorf("AttainableFLOPS(+Inf) = %v, want PeakFLOPS", got)
+	}
+}
+
+// TestPointJSONInfiniteAI asserts a zero-byte point survives JSON
+// encoding (encoding/json rejects +Inf; the marshaller nulls it) and
+// finite points keep the default wire form.
+func TestPointJSONInfiniteAI(t *testing.T) {
+	m := a100Model(t)
+	inf := NewPoint("zero-bytes", 2e9, 0, time.Millisecond, m)
+	raw, err := json.Marshal(inf)
+	if err != nil {
+		t.Fatalf("marshal of infinite-AI point failed: %v", err)
+	}
+	if !strings.Contains(string(raw), `"ai":null`) {
+		t.Errorf("infinite AI not nulled: %s", raw)
+	}
+	if !strings.Contains(string(raw), `"bound":"compute"`) {
+		t.Errorf("bound lost in encoding: %s", raw)
+	}
+	// A finite point must keep the exact default encoding, field
+	// order included (golden report fixtures depend on it).
+	fin := NewPoint("finite", 2e9, 1e8, time.Millisecond, m)
+	got, err := json.Marshal(fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type plain Point // method-free view = default encoding
+	want, err := json.Marshal(plain(fin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("finite point wire form drifted:\n got %s\nwant %s", got, want)
 	}
 }
 

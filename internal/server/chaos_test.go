@@ -1,0 +1,433 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"proof/internal/core"
+	"proof/internal/faults"
+	"proof/internal/profsession"
+)
+
+// scrapeMetrics fetches the /metrics page as text.
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// metricValue extracts one series' value from an exposition page. The
+// series name must match exactly, label set included; -1 means absent.
+func metricValue(t *testing.T, page, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("series %s has unparsable value %q", series, rest)
+		}
+		return v
+	}
+	return -1
+}
+
+// assertNoLeakedSlots waits for every admission slot and pipeline
+// execution to drain — a stuck counter here means a leaked slot.
+func assertNoLeakedSlots(t *testing.T, s *Server) {
+	t.Helper()
+	waitFor(t, "admission slots to drain", func() bool {
+		return s.adm.inflight.Load() == 0 && s.adm.queued.Load() == 0 &&
+			s.sess.Stats().Inflight == 0
+	})
+}
+
+// TestChaosStormResolvesEveryRequest drives a seeded fault storm — 30%
+// transient errors plus latency spikes — through the full HTTP stack
+// and asserts the resilience contract: every surviving request
+// resolves as a success, a degraded-stale 200, or a structured 5xx/429
+// carrying Retry-After; no admission slot or inflight execution leaks;
+// and, once injection stops, every configuration profiles correctly —
+// the cache never memorized a failure.
+func TestChaosStormResolvesEveryRequest(t *testing.T) {
+	inj := faults.New(faults.Config{
+		Seed:           42,
+		ErrorRate:      0.3,
+		TransientShare: 1.0,
+		LatencyRate:    0.1,
+		Latency:        2 * time.Millisecond,
+	})
+	profile := faults.Wrap(inj, func(ctx context.Context, opts core.Options) (*core.Report, error) {
+		return stubReport(opts), nil
+	})
+	sess := profsession.NewWithConfig(profsession.Config{
+		Capacity: 64,
+		Profile:  profile,
+		Retry: profsession.RetryPolicy{
+			Attempts: 4,
+			Base:     time.Millisecond,
+			MaxDelay: 4 * time.Millisecond,
+			Jitter:   0.2,
+		},
+		Breaker: profsession.BreakerConfig{Threshold: 8, Cooldown: 50 * time.Millisecond},
+	})
+	s, ts := newTestServer(t, Config{
+		Session:        sess,
+		MaxInflight:    4,
+		MaxQueue:       64,
+		QueueWait:      10 * time.Second,
+		RequestTimeout: 10 * time.Second,
+	})
+
+	// Enough distinct configurations that the storm keeps executing the
+	// faulty pipeline instead of coasting on the cache.
+	models := []string{"resnet-50", "resnet-18", "mobilenetv2-0.5"}
+	var bodies []string
+	for _, m := range models {
+		for seed := 1; seed <= 16; seed++ {
+			bodies = append(bodies,
+				fmt.Sprintf(`{"model":%q,"platform":"a100","batch":8,"seed":%d}`, m, seed))
+		}
+	}
+
+	const (
+		workers     = 8
+		perWorker   = 25
+		cancelEvery = 7 // every 7th request abandons its response
+	)
+	type tally struct{ ok, degraded, shed, failed int64 }
+	var got tally
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0))
+			for i := 0; i < perWorker; i++ {
+				body := bodies[rng.IntN(len(bodies))]
+				if i%cancelEvery == cancelEvery-1 {
+					// A client that gives up almost immediately: its
+					// slot and execution must still be reclaimed.
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					req, _ := http.NewRequestWithContext(ctx, "POST",
+						ts.URL+"/v1/profile", strings.NewReader(body))
+					req.Header.Set("Content-Type", "application/json")
+					if resp, err := http.DefaultClient.Do(req); err == nil {
+						resp.Body.Close()
+					}
+					cancel()
+					continue
+				}
+				resp, err := http.Post(ts.URL+"/v1/profile", "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					errs <- fmt.Sprintf("request error: %v", err)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var rep struct {
+						Model string `json:"model"`
+					}
+					if json.Unmarshal(raw, &rep) != nil || rep.Model == "" {
+						errs <- fmt.Sprintf("200 with invalid report body: %.80s", raw)
+					}
+					if resp.Header.Get("X-Degraded") != "" {
+						atomic.AddInt64(&got.degraded, 1)
+					} else {
+						atomic.AddInt64(&got.ok, 1)
+					}
+				case http.StatusTooManyRequests:
+					atomic.AddInt64(&got.shed, 1)
+					if resp.Header.Get("Retry-After") == "" {
+						errs <- "429 without Retry-After"
+					}
+				case http.StatusServiceUnavailable:
+					atomic.AddInt64(&got.failed, 1)
+					if resp.Header.Get("Retry-After") == "" {
+						errs <- "503 without Retry-After"
+					}
+					var env ErrorEnvelope
+					if json.Unmarshal(raw, &env) != nil || env.Error.Code == "" {
+						errs <- fmt.Sprintf("503 without structured envelope: %.80s", raw)
+					}
+				default:
+					errs <- fmt.Sprintf("unexpected status %d: %.120s", resp.StatusCode, raw)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got.ok == 0 {
+		t.Error("storm produced no successful responses")
+	}
+	t.Logf("storm: %d ok, %d degraded, %d shed, %d failed; injector %+v",
+		got.ok, got.degraded, got.shed, got.failed, inj.Stats())
+
+	// Cancelled clients and failures must not leak admission slots or
+	// inflight executions.
+	assertNoLeakedSlots(t, s)
+
+	// With injection off, every configuration must profile cleanly:
+	// whatever the storm cached, it never cached a failure.
+	inj.Disable()
+	for _, body := range bodies {
+		resp := postJSON(t, ts.URL+"/v1/profile", body)
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-storm profile failed (%d): %.120s", resp.StatusCode, raw)
+		}
+		var rep struct {
+			Model string `json:"model"`
+		}
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("post-storm report does not parse: %v", err)
+		}
+		if !strings.Contains(body, fmt.Sprintf("%q", rep.Model)) {
+			t.Errorf("cache served the wrong report: asked %s, got model %q", body, rep.Model)
+		}
+	}
+
+	// The retry machinery must be visible on /metrics.
+	page := scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, page, "proofd_session_retries_total"); v <= 0 {
+		t.Errorf("proofd_session_retries_total = %v after a 30%% fault storm", v)
+	}
+}
+
+// TestChaosBreakerLifecycle walks one (model, platform) circuit
+// through its whole life over HTTP: consecutive failures open it,
+// open fast-fails with a structured 503 circuit_open + Retry-After,
+// the cooldown admits a half-open probe, and a probe success closes
+// it again — each state visible in /metrics.
+func TestChaosBreakerLifecycle(t *testing.T) {
+	const cooldown = 60 * time.Millisecond
+	var failing atomic.Bool
+	failing.Store(true)
+	sess := profsession.NewWithConfig(profsession.Config{
+		Capacity: 8,
+		Profile: func(ctx context.Context, opts core.Options) (*core.Report, error) {
+			if failing.Load() {
+				return nil, faults.Transient(errors.New("backend down"))
+			}
+			return stubReport(opts), nil
+		},
+		Breaker: profsession.BreakerConfig{Threshold: 3, Cooldown: cooldown},
+	})
+	_, ts := newTestServer(t, Config{Session: sess})
+	body := `{"model":"resnet-50","platform":"a100","batch":8,"seed":1}`
+
+	// Three consecutive failures: transparent 503s, then the circuit
+	// opens.
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/profile", body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("failure %d: status %d, want 503", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("failure %d: transient 503 without Retry-After", i)
+		}
+		if env := decodeEnvelope(t, resp); env.Error.Code != "upstream_transient" {
+			t.Errorf("failure %d: code %q, want upstream_transient", i, env.Error.Code)
+		}
+	}
+
+	// Open circuit: fast structured rejection without touching the
+	// profiler.
+	resp := postJSON(t, ts.URL+"/v1/profile", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open circuit: status %d, want 503", resp.StatusCode)
+	}
+	retryAfter := resp.Header.Get("Retry-After")
+	if retryAfter == "" {
+		t.Error("open circuit 503 without Retry-After")
+	}
+	if secs, err := strconv.Atoi(retryAfter); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer of seconds", retryAfter)
+	}
+	if env := decodeEnvelope(t, resp); env.Error.Code != "circuit_open" {
+		t.Errorf("open circuit code %q, want circuit_open", env.Error.Code)
+	}
+	page := scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, page, `proofd_session_breaker_state{key="resnet-50|a100"}`); v != 2 {
+		t.Errorf("open breaker_state = %v, want 2", v)
+	}
+	if v := metricValue(t, page, "proofd_session_breaker_opens_total"); v < 1 {
+		t.Errorf("breaker_opens_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, page, "proofd_session_breaker_fast_fails_total"); v < 1 {
+		t.Errorf("breaker_fast_fails_total = %v, want >= 1", v)
+	}
+
+	// After the cooldown the half-open probe runs for real; with the
+	// backend recovered it succeeds and closes the circuit.
+	failing.Store(false)
+	time.Sleep(cooldown + 20*time.Millisecond)
+	resp = postJSON(t, ts.URL+"/v1/profile", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("half-open probe: status %d, want 200", resp.StatusCode)
+	}
+	page = scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, page, `proofd_session_breaker_state{key="resnet-50|a100"}`); v != 0 {
+		t.Errorf("closed breaker_state = %v, want 0", v)
+	}
+	if v := metricValue(t, page, "proofd_session_breaker_closes_total"); v < 1 {
+		t.Errorf("breaker_closes_total = %v, want >= 1", v)
+	}
+}
+
+// TestChaosDegradedStaleResponse covers graceful degradation: after a
+// configuration has succeeded once, a live failure serves the
+// last-known-good report with X-Degraded/X-Cache headers instead of a
+// 5xx — even across a cache Reset — while never-profiled
+// configurations still fail loudly.
+func TestChaosDegradedStaleResponse(t *testing.T) {
+	var failing atomic.Bool
+	sess := profsession.NewWithConfig(profsession.Config{
+		Capacity: 8,
+		Profile: func(ctx context.Context, opts core.Options) (*core.Report, error) {
+			if failing.Load() {
+				return nil, faults.Transient(errors.New("backend down"))
+			}
+			return stubReport(opts), nil
+		},
+	})
+	_, ts := newTestServer(t, Config{Session: sess})
+	body := `{"model":"resnet-50","platform":"a100","batch":8,"seed":1}`
+
+	resp := postJSON(t, ts.URL+"/v1/profile", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy profile: status %d", resp.StatusCode)
+	}
+
+	// Reset evicts the live cache; the last-known-good store survives.
+	sess.Reset()
+	failing.Store(true)
+
+	resp = postJSON(t, ts.URL+"/v1/profile", body)
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded response: status %d, want 200 from stale store: %.120s",
+			resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Degraded"); got != "stale-report" {
+		t.Errorf("X-Degraded = %q, want stale-report", got)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "stale" {
+		t.Errorf("X-Cache = %q, want stale", got)
+	}
+	var rep struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil || rep.Model != "resnet-50" {
+		t.Errorf("stale report body wrong (err %v): %.120s", err, raw)
+	}
+
+	// A configuration that never succeeded has nothing to fall back to.
+	resp = postJSON(t, ts.URL+"/v1/profile",
+		`{"model":"resnet-18","platform":"a100","batch":8,"seed":9}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("no-stale failure: status %d, want 503", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp); env.Error.Code != "upstream_transient" {
+		t.Errorf("no-stale failure code %q, want upstream_transient", env.Error.Code)
+	}
+
+	page := scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, page, "proofd_degraded_responses_total"); v != 1 {
+		t.Errorf("proofd_degraded_responses_total = %v, want 1", v)
+	}
+	if v := metricValue(t, page, "proofd_session_stale_hits_total"); v < 1 {
+		t.Errorf("proofd_session_stale_hits_total = %v, want >= 1", v)
+	}
+}
+
+// TestChaosCancelledClientsReleaseSlots pins the slot-reclamation
+// contract under the worst case: every inflight execution is stuck
+// until its context dies, every client hangs up, and the server must
+// return to a fully idle admission state and then serve a healthy
+// request.
+func TestChaosCancelledClientsReleaseSlots(t *testing.T) {
+	var healthy atomic.Bool
+	sess := profsession.NewWithConfig(profsession.Config{
+		Capacity: 8,
+		Profile: func(ctx context.Context, opts core.Options) (*core.Report, error) {
+			if healthy.Load() {
+				return stubReport(opts), nil
+			}
+			<-ctx.Done() // a hung backend: only cancellation ends it
+			return nil, ctx.Err()
+		},
+	})
+	s, ts := newTestServer(t, Config{
+		Session:     sess,
+		MaxInflight: 1,
+		MaxQueue:    4,
+		QueueWait:   10 * time.Second,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"model":"resnet-50","platform":"a100","seed":%d}`, i)
+			req, _ := http.NewRequestWithContext(ctx, "POST",
+				ts.URL+"/v1/profile", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	// Let the requests hit the stuck backend / queue, then hang up.
+	waitFor(t, "requests to occupy the server", func() bool {
+		return s.adm.inflight.Load() >= 1
+	})
+	cancel()
+	wg.Wait()
+
+	assertNoLeakedSlots(t, s)
+
+	// The freed slot serves a healthy request normally.
+	healthy.Store(true)
+	resp := postJSON(t, ts.URL+"/v1/profile",
+		`{"model":"resnet-50","platform":"a100","seed":99}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel request: status %d, want 200", resp.StatusCode)
+	}
+}

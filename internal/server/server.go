@@ -37,6 +37,7 @@ import (
 
 	"proof/internal/backend"
 	"proof/internal/core"
+	"proof/internal/faults"
 	"proof/internal/graph"
 	"proof/internal/hardware"
 	"proof/internal/models"
@@ -529,10 +530,22 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	report, outcome, err := s.sess.ProfileOutcome(ctx, opts)
 	if err != nil {
+		if stale, ok := s.staleFallback(r, opts, err); ok {
+			s.metrics.degraded.Inc()
+			w.Header().Set("X-Cache", "stale")
+			w.Header().Set("X-Degraded", "stale-report")
+			s.writeProfileReport(w, r, ctx, stale)
+			return
+		}
 		s.writeProfilingError(w, r, err)
 		return
 	}
 	w.Header().Set("X-Cache", string(outcome))
+	s.writeProfileReport(w, r, ctx, report)
+}
+
+// writeProfileReport renders a profile response, honoring ?trace=1.
+func (s *Server) writeProfileReport(w http.ResponseWriter, r *http.Request, ctx context.Context, report *core.Report) {
 	if r.URL.Query().Get("trace") == "1" {
 		s.writeJSON(w, http.StatusOK, TracedProfileResponse{
 			Report: report,
@@ -541,6 +554,26 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, report)
+}
+
+// staleFallback decides whether a failed live profile may degrade to
+// the session's last-known-good report. Degradation is for service
+// failures only: caller bugs (invalid models) keep their 4xx, a gone
+// client gets no body at all, and without a prior success there is
+// nothing to serve. Timeouts, circuit-open rejections, exhausted
+// retries and other internal failures all degrade — a slightly stale
+// analysis beats an error page for a read-mostly workload.
+func (s *Server) staleFallback(r *http.Request, opts core.Options, err error) (*core.Report, bool) {
+	if r.Context().Err() != nil {
+		return nil, false
+	}
+	if _, ok := graph.AsValidationError(err); ok {
+		return nil, false
+	}
+	if errors.Is(err, context.Canceled) {
+		return nil, false
+	}
+	return s.sess.StaleFor(opts)
 }
 
 // TracedProfileResponse is the POST /v1/profile?trace=1 body: the
@@ -618,22 +651,43 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // writeProfilingError maps a pipeline failure to a response: deadline →
 // 504, client gone → 499 (log-only), a model-graph verification error
-// anywhere in the chain → 400 invalid_model, anything else → 500.
+// anywhere in the chain → 400 invalid_model, an open circuit → 503
+// circuit_open with Retry-After, a transient failure that survived the
+// retry budget → 503 upstream_transient with Retry-After, anything
+// else → 500.
 func (s *Server) writeProfilingError(w http.ResponseWriter, r *http.Request, err error) {
 	if verr, ok := graph.AsValidationError(err); ok {
 		s.writeErrorDetails(w, r, http.StatusBadRequest, "invalid_model", err.Error(),
 			[]*graph.ValidationError{verr})
 		return
 	}
+	var coe *profsession.CircuitOpenError
 	switch {
+	case errors.As(err, &coe):
+		setRetryAfter(w, coe.RetryAfter)
+		s.writeError(w, r, http.StatusServiceUnavailable, "circuit_open", err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		s.writeError(w, r, http.StatusGatewayTimeout, "timeout",
 			fmt.Sprintf("profiling exceeded the %s request budget", s.cfg.RequestTimeout))
 	case errors.Is(err, context.Canceled):
 		s.writeError(w, r, statusClientClosedRequest, "canceled", "client closed request")
+	case faults.IsTransient(err):
+		setRetryAfter(w, time.Second)
+		s.writeError(w, r, http.StatusServiceUnavailable, "upstream_transient",
+			"profiling failed transiently; retrying may succeed: "+err.Error())
 	default:
 		s.writeError(w, r, http.StatusInternalServerError, "internal", err.Error())
 	}
+}
+
+// setRetryAfter sets the Retry-After header to d rounded up to whole
+// seconds (the header has one-second resolution; the floor is 1).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 // ModelsResponse is the GET /v1/models body.
