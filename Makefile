@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test lint bench-serving
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/prooflint ./...
+
+# bench-serving regenerates BENCH_serving.json: the pinned-seed
+# closed-loop smoke of the serving path (cache-hit heavy, fixed request
+# count). Schedules are deterministic (seed 1), so the request stream —
+# and the schedule_digest in the artifact — are identical across runs;
+# only measured latencies move with the host.
+bench-serving:
+	$(GO) run ./cmd/proofload -name bench-serving -seed 1 -json -out BENCH_serving.json

@@ -1,0 +1,193 @@
+// Command proofload is the PRoof workload engine: deterministic,
+// seedable traffic generation against proofd (over HTTP) or the
+// in-process profiling session, graded against declared SLOs.
+//
+//	proofload -list                         # builtin scenario library
+//	proofload -name smoke                   # in-process closed-loop smoke
+//	proofload -name hot-key -url http://localhost:8080
+//	proofload -scenario soak.json -seed 7 -out verdict.json
+//	proofload -name poisson -record trace.jsonl
+//	proofload -replay trace.jsonl -url http://localhost:8080
+//
+// The exit code is the verdict: 0 when every graded budget held, 1 on
+// an SLO violation (or a serving-contract breach), 2 on usage errors.
+// Two runs with the same scenario and seed produce identical request
+// schedules (the verdict's schedule_digest pins this).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"proof/internal/profsession"
+	"proof/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("proofload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name     = fs.String("name", "", "builtin scenario name (see -list)")
+		scenario = fs.String("scenario", "", "scenario JSON file (alternative to -name)")
+		list     = fs.Bool("list", false, "list builtin scenarios and exit")
+		url      = fs.String("url", "", "proofd base URL to drive over HTTP (empty = in-process session)")
+		seed     = fs.Uint64("seed", 0, "schedule seed override (0 = scenario's own seed)")
+		out      = fs.String("out", "", "write the JSON verdict to this file")
+		jsonOut  = fs.Bool("json", false, "print the JSON verdict to stdout instead of the table")
+		record   = fs.String("record", "", "record issued requests to this JSONL trace file")
+		replay   = fs.String("replay", "", "replay a recorded JSONL trace instead of generating arrivals")
+		timeout  = fs.Duration("timeout", 60*time.Second, "per-request budget for the in-process target")
+
+		retryAttempts = fs.Int("retry-attempts", 3, "in-process session: attempts per execution for transient failures")
+		breakThresh   = fs.Int("breaker-threshold", 5, "in-process session: consecutive failures opening a circuit (0 disables)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: proofload (-name <builtin> | -scenario <file.json> | -replay <trace.jsonl>) [flags]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, n := range workload.BuiltinNames() {
+			sc, _ := workload.Builtin(n)
+			fmt.Fprintf(stdout, "%-14s %s\n", n, sc.Description)
+		}
+		return 0
+	}
+
+	sc, code := resolveScenario(*name, *scenario, *replay, stderr)
+	if code != 0 {
+		return code
+	}
+
+	var plan *workload.Plan
+	var err error
+	if *replay != "" {
+		entries, terr := workload.LoadTrace(*replay)
+		if terr != nil {
+			fmt.Fprintln(stderr, "proofload:", terr)
+			return 2
+		}
+		plan, err = workload.PlanFromTrace(sc, entries)
+	} else {
+		plan, err = workload.BuildPlan(sc, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "proofload:", err)
+		return 2
+	}
+
+	var tgt workload.Target
+	if *url != "" {
+		tgt = workload.NewHTTPTarget(*url)
+	} else {
+		sess := profsession.NewWithConfig(profsession.Config{
+			Retry: profsession.RetryPolicy{Attempts: *retryAttempts},
+			Breaker: profsession.BreakerConfig{
+				Threshold: *breakThresh,
+			},
+		})
+		tgt = &workload.SessionTarget{Session: sess, Timeout: *timeout}
+	}
+
+	opts := workload.RunOptions{}
+	var recFile *os.File
+	if *record != "" {
+		recFile, err = os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(stderr, "proofload:", err)
+			return 2
+		}
+		defer recFile.Close()
+		opts.Record = recFile
+	}
+
+	// Ctrl-C / SIGTERM stops issuing and grades the partial run.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	res, err := workload.Run(ctx, plan, tgt, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "proofload:", err)
+		if res == nil {
+			return 2
+		}
+	}
+	verdict := workload.Grade(res, sc.SLO)
+
+	data, err := verdict.JSON()
+	if err != nil {
+		fmt.Fprintln(stderr, "proofload:", err)
+		return 2
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "proofload:", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		stdout.Write(data)
+	} else {
+		verdict.WriteTable(stdout)
+	}
+	if !verdict.Pass {
+		return 1
+	}
+	return 0
+}
+
+// resolveScenario picks the scenario from the mutually exclusive
+// -name / -scenario / -replay sources (returning 0 exit code on
+// success).
+func resolveScenario(name, file, replay string, stderr io.Writer) (*workload.Scenario, int) {
+	if name != "" && file != "" {
+		fmt.Fprintln(stderr, "proofload: -name and -scenario are mutually exclusive")
+		return nil, 2
+	}
+	switch {
+	case file != "":
+		sc, err := workload.Load(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "proofload:", err)
+			return nil, 2
+		}
+		if replay != "" && sc.Arrivals.Kind != workload.KindReplay {
+			fmt.Fprintf(stderr, "proofload: -replay needs a scenario with %q arrivals (got %q)\n",
+				workload.KindReplay, sc.Arrivals.Kind)
+			return nil, 2
+		}
+		return sc, 0
+	case name != "":
+		sc, ok := workload.Builtin(name)
+		if !ok {
+			fmt.Fprintf(stderr, "proofload: unknown builtin scenario %q (run -list)\n", name)
+			return nil, 2
+		}
+		if replay != "" {
+			fmt.Fprintln(stderr, "proofload: -replay cannot combine with -name (builtins generate their own arrivals)")
+			return nil, 2
+		}
+		return sc, 0
+	case replay != "":
+		// A bare replay: re-drive the trace, grade only the contract.
+		return &workload.Scenario{
+			Name:     "replay",
+			Arrivals: workload.Arrivals{Kind: workload.KindReplay},
+		}, 0
+	default:
+		fmt.Fprintln(stderr, "proofload: one of -name, -scenario or -replay is required (run -list for builtins)")
+		return nil, 2
+	}
+}

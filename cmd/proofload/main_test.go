@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proof/internal/workload"
+)
+
+// runCLI invokes run() the way main does, capturing both streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{},                            // no scenario source
+		{"-name", "no-such-scenario"}, // unknown builtin
+		{"-name", "smoke", "-scenario", "x.json"}, // mutually exclusive
+		{"-scenario", "/does/not/exist.json"},
+		{"-name", "smoke", "-replay", "trace.jsonl"},
+		{"-badflag"},
+	} {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("proofload %v exited %d (stderr %q), want 2", args, code, stderr)
+		}
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, want := range []string{"smoke", "chaos-storm", "bench-serving", "hot-key"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-list output missing builtin %q", want)
+		}
+	}
+}
+
+// TestSmokePassesAndSchedulesDeterministically drives the in-process
+// session twice with the same seed: both runs must pass (exit 0) and
+// pin the identical schedule digest — the CLI-level determinism
+// guarantee from the issue.
+func TestSmokePassesAndSchedulesDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	digest := func(path string) (string, int64) {
+		t.Helper()
+		var v workload.Verdict
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		return v.Result.ScheduleDigest, v.Result.Requests
+	}
+
+	out1 := filepath.Join(dir, "v1.json")
+	code, _, stderr := runCLI(t, "-name", "smoke", "-seed", "5", "-out", out1)
+	if code != 0 {
+		t.Fatalf("run 1 exited %d: %s", code, stderr)
+	}
+	out2 := filepath.Join(dir, "v2.json")
+	code, _, stderr = runCLI(t, "-name", "smoke", "-seed", "5", "-out", out2)
+	if code != 0 {
+		t.Fatalf("run 2 exited %d: %s", code, stderr)
+	}
+
+	d1, n1 := digest(out1)
+	d2, n2 := digest(out2)
+	if d1 == "" || d1 != d2 {
+		t.Errorf("same seed produced schedule digests %q vs %q", d1, d2)
+	}
+	if n1 != 48 || n2 != 48 {
+		t.Errorf("smoke issued %d/%d requests, want 48 each", n1, n2)
+	}
+
+	out3 := filepath.Join(dir, "v3.json")
+	if code, _, stderr := runCLI(t, "-name", "smoke", "-seed", "6", "-out", out3); code != 0 {
+		t.Fatalf("run 3 exited %d: %s", code, stderr)
+	}
+	if d3, _ := digest(out3); d3 == d1 {
+		t.Error("different seeds produced the same schedule digest")
+	}
+}
+
+// TestSLOViolationExitsOne grades a run against an impossible latency
+// budget: the verdict must fail and the process exit code must be 1.
+func TestSLOViolationExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	scPath := filepath.Join(dir, "impossible.json")
+	sc := `{
+  "name": "impossible",
+  "seed": 1,
+  "arrivals": {"kind": "closed", "clients": 2, "requests": 2},
+  "mix": {"items": [{"model": "resnet-18", "platform": "a100", "batch": 1}]},
+  "slo": {"p50": "1ns"}
+}`
+	if err := os.WriteFile(scPath, []byte(sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runCLI(t, "-scenario", scPath)
+	if code != 1 {
+		t.Fatalf("impossible SLO exited %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "verdict: FAIL") {
+		t.Errorf("table output missing FAIL verdict:\n%s", stdout)
+	}
+}
+
+// TestRecordThenReplayCLI records an in-process run to a JSONL trace,
+// then replays it: the replay must grade the contract and drive the
+// same number of requests.
+func TestRecordThenReplayCLI(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	code, _, stderr := runCLI(t, "-name", "smoke", "-seed", "3", "-record", trace)
+	if code != 0 {
+		t.Fatalf("record run exited %d: %s", code, stderr)
+	}
+	entries, err := workload.LoadTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 48 {
+		t.Fatalf("trace has %d entries, want 48", len(entries))
+	}
+
+	out := filepath.Join(dir, "replay.json")
+	code, _, stderr = runCLI(t, "-replay", trace, "-out", out, "-json")
+	if code != 0 {
+		t.Fatalf("replay exited %d: %s", code, stderr)
+	}
+	var v workload.Verdict
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Result.Requests != 48 {
+		t.Errorf("replay issued %d requests, want 48", v.Result.Requests)
+	}
+	if !v.Pass {
+		t.Errorf("replay verdict failed: %+v", v.Checks)
+	}
+}
+
+func TestJSONOutputIsValid(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-name", "smoke", "-json")
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr)
+	}
+	var v workload.Verdict
+	if err := json.Unmarshal([]byte(stdout), &v); err != nil {
+		t.Fatalf("stdout is not a JSON verdict: %v\n%s", err, stdout)
+	}
+	if v.Scenario != "smoke" || v.Result == nil {
+		t.Errorf("verdict incomplete: %+v", v)
+	}
+}

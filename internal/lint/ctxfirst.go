@@ -18,6 +18,7 @@ var defaultCtxScopes = []string{
 	"internal/parallel",
 	"internal/profsession",
 	"internal/roofline",
+	"internal/workload",
 }
 
 // CtxFirst flags exported functions in scoped packages that fan out

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Digest is a bounded-memory latency distribution with quantile reads —
+// the capture side of workload reports and anything else that needs
+// p50/p99/p999 without retaining every sample. Values land in
+// log-linear buckets (geometric bounds growing by digestGrowth per
+// step), so relative quantile error is bounded by the growth factor
+// (~7%) regardless of how many observations arrive, and memory is a
+// fixed few KiB. Exact minimum and maximum are tracked on the side so
+// the tails never read below/above a real observation.
+//
+// A Digest is safe for concurrent use; the zero value is not usable —
+// construct with NewDigest.
+type Digest struct {
+	mu     sync.Mutex
+	counts []int64
+	count  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// digestBase is the lower bound of the first bucket: observations at
+// or below 1µs are all "bucket zero" — far below anything the serving
+// stack can distinguish.
+const digestBase = float64(time.Microsecond)
+
+// digestGrowth is the geometric bucket growth factor, 2^(1/10):
+// ten buckets per doubling, ~7% relative error.
+var digestGrowth = math.Pow(2, 0.1)
+
+// digestBuckets spans 1µs..~2380s in log-linear steps.
+const digestBuckets = 312
+
+// NewDigest creates an empty digest.
+func NewDigest() *Digest {
+	return &Digest{counts: make([]int64, digestBuckets)}
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(float64(d)/digestBase) / math.Log(digestGrowth)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= digestBuckets {
+		i = digestBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is the upper bound of bucket i — the value a quantile
+// read reports for observations landing there.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return time.Microsecond
+	}
+	return time.Duration(digestBase * math.Pow(digestGrowth, float64(i)))
+}
+
+// Observe records one duration (negative values clamp to zero).
+func (d *Digest) Observe(v time.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketOf(v)
+	d.mu.Lock()
+	d.counts[i]++
+	d.count++
+	d.sum += v
+	if d.count == 1 || v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+	d.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (d *Digest) Count() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// Max returns the largest observation (0 when empty).
+func (d *Digest) Max() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.max
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (d *Digest) Mean() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0
+	}
+	return d.sum / time.Duration(d.count)
+}
+
+// Quantile returns the value at quantile q in [0, 1] by nearest rank
+// over the bucket bounds: the upper bound of the bucket holding the
+// q-th observation, clamped into [min, max] so the extremes are exact.
+// An empty digest returns 0.
+func (d *Digest) Quantile(q float64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest rank: the smallest rank r with r >= q*count, floored at 1.
+	rank := int64(math.Ceil(q * float64(d.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	v := d.max
+	for i, c := range d.counts {
+		cum += c
+		if cum >= rank {
+			v = bucketUpper(i)
+			break
+		}
+	}
+	if v < d.min {
+		v = d.min
+	}
+	if v > d.max {
+		v = d.max
+	}
+	return v
+}

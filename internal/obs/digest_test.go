@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDigestEmpty(t *testing.T) {
+	d := NewDigest()
+	if d.Count() != 0 || d.Max() != 0 || d.Mean() != 0 {
+		t.Errorf("empty digest not zeroed: count=%d max=%s mean=%s", d.Count(), d.Max(), d.Mean())
+	}
+	if q := d.Quantile(0.99); q != 0 {
+		t.Errorf("empty digest quantile = %s, want 0", q)
+	}
+}
+
+func TestDigestSingleObservation(t *testing.T) {
+	d := NewDigest()
+	d.Observe(3 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := d.Quantile(q); got != 3*time.Millisecond {
+			t.Errorf("Quantile(%v) = %s, want exactly 3ms (clamped to min/max)", q, got)
+		}
+	}
+	if d.Max() != 3*time.Millisecond || d.Count() != 1 {
+		t.Errorf("max=%s count=%d", d.Max(), d.Count())
+	}
+}
+
+func TestDigestQuantileAccuracy(t *testing.T) {
+	// Uniform 1ms..100ms: every quantile is known analytically, and the
+	// log-linear buckets promise ~7% relative error.
+	d := NewDigest()
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d.Observe(time.Millisecond + time.Duration(rng.Int64N(int64(99*time.Millisecond))))
+	}
+	if d.Count() != n {
+		t.Fatalf("count = %d, want %d", d.Count(), n)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	} {
+		got := d.Quantile(tc.q)
+		lo := tc.want - tc.want/8
+		hi := tc.want + tc.want/8
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %s, want %s +- 12.5%%", tc.q, got, tc.want)
+		}
+	}
+	// Mean of U(1ms, 100ms) is ~50.5ms; digest mean is exact (tracked
+	// as a true sum, not bucketed).
+	mean := d.Mean()
+	if mean < 49*time.Millisecond || mean > 52*time.Millisecond {
+		t.Errorf("mean = %s, want ~50.5ms", mean)
+	}
+}
+
+func TestDigestQuantileMonotone(t *testing.T) {
+	d := NewDigest()
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 5000; i++ {
+		d.Observe(time.Duration(rng.Int64N(int64(time.Second))))
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := d.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %s < previous %s", q, got, prev)
+		}
+		prev = got
+	}
+	if d.Quantile(1) != d.Max() {
+		t.Errorf("Quantile(1) = %s, want max %s", d.Quantile(1), d.Max())
+	}
+}
+
+func TestDigestExtremesClampToBuckets(t *testing.T) {
+	d := NewDigest()
+	d.Observe(0)                    // below the 1us base bucket
+	d.Observe(-5 * time.Second)     // nonsense negative
+	d.Observe(1000 * time.Hour)     // far beyond the last bucket
+	d.Observe(10 * time.Nanosecond) // sub-base
+	if d.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (every observation lands somewhere)", d.Count())
+	}
+	if q := d.Quantile(0.5); q < 0 {
+		t.Errorf("median of clamped extremes went negative: %s", q)
+	}
+	if d.Max() != 1000*time.Hour {
+		t.Errorf("max = %s, want the true (unclamped) 1000h", d.Max())
+	}
+}
+
+func TestDigestConcurrentObserve(t *testing.T) {
+	d := NewDigest()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Count() != workers*per {
+		t.Errorf("count = %d, want %d", d.Count(), workers*per)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"proof/internal/core"
 	"proof/internal/faults"
+	"proof/internal/graph"
 	"proof/internal/obs"
 	"proof/internal/parallel"
 )
@@ -398,6 +399,26 @@ func (s *Session) storeStaleLocked(key string, rep *core.Report) {
 		s.staleOrder.Remove(oldest)
 		delete(s.staleEntries, oldest.Value.(*entry).key)
 	}
+}
+
+// FallbackFor decides whether a failed live profile may degrade to the
+// last-known-good report for opts. Degradation is for service failures
+// only: caller bugs (invalid models) keep their error, a cancelled
+// request wants no body at all, and without a prior success there is
+// nothing to serve. Timeouts, circuit-open rejections, exhausted
+// retries and other internal failures all degrade — a slightly stale
+// analysis beats an error page for a read-mostly workload. Both the
+// proofd HTTP edge and the in-process workload target route their
+// degrade decision through here, so the two serving paths cannot
+// drift.
+func (s *Session) FallbackFor(opts core.Options, err error) (*core.Report, bool) {
+	if _, ok := graph.AsValidationError(err); ok {
+		return nil, false
+	}
+	if errors.Is(err, context.Canceled) {
+		return nil, false
+	}
+	return s.StaleFor(opts)
 }
 
 // StaleFor returns the last successful report for an options value, if

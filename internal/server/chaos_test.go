@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -18,6 +17,7 @@ import (
 	"proof/internal/core"
 	"proof/internal/faults"
 	"proof/internal/profsession"
+	"proof/internal/workload"
 )
 
 // scrapeMetrics fetches the /metrics page as text.
@@ -70,6 +70,15 @@ func assertNoLeakedSlots(t *testing.T, s *Server) {
 // carrying Retry-After; no admission slot or inflight execution leaks;
 // and, once injection stops, every configuration profiles correctly —
 // the cache never memorized a failure.
+//
+// The traffic itself comes from the shared workload library (the
+// "chaos-storm" builtin scenario: 8 closed-loop clients x 25 requests,
+// every 7th hanging up, over 3 models x 16 seeds) so the chaos suite
+// and `proofload -name chaos-storm` drive byte-identical schedules.
+// The HTTP target owns the contract checks the workers used to make
+// inline: 200 bodies must parse and name the requested model, 429/503
+// must carry Retry-After, 503 a structured envelope — any breach
+// surfaces as a Result violation.
 func TestChaosStormResolvesEveryRequest(t *testing.T) {
 	inj := faults.New(faults.Config{
 		Seed:           42,
@@ -100,106 +109,42 @@ func TestChaosStormResolvesEveryRequest(t *testing.T) {
 		RequestTimeout: 10 * time.Second,
 	})
 
-	// Enough distinct configurations that the storm keeps executing the
-	// faulty pipeline instead of coasting on the cache.
-	models := []string{"resnet-50", "resnet-18", "mobilenetv2-0.5"}
-	var bodies []string
-	for _, m := range models {
-		for seed := 1; seed <= 16; seed++ {
-			bodies = append(bodies,
-				fmt.Sprintf(`{"model":%q,"platform":"a100","batch":8,"seed":%d}`, m, seed))
-		}
+	sc, ok := workload.Builtin("chaos-storm")
+	if !ok {
+		t.Fatal("chaos-storm builtin scenario missing")
 	}
-
-	const (
-		workers     = 8
-		perWorker   = 25
-		cancelEvery = 7 // every 7th request abandons its response
-	)
-	type tally struct{ ok, degraded, shed, failed int64 }
-	var got tally
-	var wg sync.WaitGroup
-	errs := make(chan string, workers*perWorker)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewPCG(uint64(w), 0))
-			for i := 0; i < perWorker; i++ {
-				body := bodies[rng.IntN(len(bodies))]
-				if i%cancelEvery == cancelEvery-1 {
-					// A client that gives up almost immediately: its
-					// slot and execution must still be reclaimed.
-					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
-					req, _ := http.NewRequestWithContext(ctx, "POST",
-						ts.URL+"/v1/profile", strings.NewReader(body))
-					req.Header.Set("Content-Type", "application/json")
-					if resp, err := http.DefaultClient.Do(req); err == nil {
-						resp.Body.Close()
-					}
-					cancel()
-					continue
-				}
-				resp, err := http.Post(ts.URL+"/v1/profile", "application/json",
-					strings.NewReader(body))
-				if err != nil {
-					errs <- fmt.Sprintf("request error: %v", err)
-					continue
-				}
-				raw, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				switch resp.StatusCode {
-				case http.StatusOK:
-					var rep struct {
-						Model string `json:"model"`
-					}
-					if json.Unmarshal(raw, &rep) != nil || rep.Model == "" {
-						errs <- fmt.Sprintf("200 with invalid report body: %.80s", raw)
-					}
-					if resp.Header.Get("X-Degraded") != "" {
-						atomic.AddInt64(&got.degraded, 1)
-					} else {
-						atomic.AddInt64(&got.ok, 1)
-					}
-				case http.StatusTooManyRequests:
-					atomic.AddInt64(&got.shed, 1)
-					if resp.Header.Get("Retry-After") == "" {
-						errs <- "429 without Retry-After"
-					}
-				case http.StatusServiceUnavailable:
-					atomic.AddInt64(&got.failed, 1)
-					if resp.Header.Get("Retry-After") == "" {
-						errs <- "503 without Retry-After"
-					}
-					var env ErrorEnvelope
-					if json.Unmarshal(raw, &env) != nil || env.Error.Code == "" {
-						errs <- fmt.Sprintf("503 without structured envelope: %.80s", raw)
-					}
-				default:
-					errs <- fmt.Sprintf("unexpected status %d: %.120s", resp.StatusCode, raw)
-				}
-			}
-		}(w)
+	plan, err := workload.BuildPlan(sc, 42)
+	if err != nil {
+		t.Fatal(err)
 	}
-	wg.Wait()
-	close(errs)
-	for e := range errs {
-		t.Error(e)
+	res, err := workload.Run(context.Background(), plan,
+		workload.NewHTTPTarget(ts.URL), workload.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got.ok == 0 {
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if extra := res.ViolationCount - int64(len(res.Violations)); extra > 0 {
+		t.Errorf("... and %d more contract violation(s)", extra)
+	}
+	if res.OK == 0 {
 		t.Error("storm produced no successful responses")
 	}
-	t.Logf("storm: %d ok, %d degraded, %d shed, %d failed; injector %+v",
-		got.ok, got.degraded, got.shed, got.failed, inj.Stats())
+	t.Logf("storm: %d ok, %d degraded, %d shed, %d failed, %d canceled; injector %+v",
+		res.OK, res.Degraded, res.Shed, res.Failed, res.Canceled, inj.Stats())
 
 	// Cancelled clients and failures must not leak admission slots or
 	// inflight executions.
 	assertNoLeakedSlots(t, s)
 
-	// With injection off, every configuration must profile cleanly:
-	// whatever the storm cached, it never cached a failure.
+	// With injection off, every configuration in the storm's mix must
+	// profile cleanly: whatever the storm cached, it never cached a
+	// failure.
 	inj.Disable()
-	for _, body := range bodies {
+	for _, shape := range plan.Distinct() {
+		body := fmt.Sprintf(`{"model":%q,"platform":%q,"batch":%d,"seed":%d}`,
+			shape.Model, shape.Platform, shape.Batch, shape.Seed)
 		resp := postJSON(t, ts.URL+"/v1/profile", body)
 		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -212,8 +157,8 @@ func TestChaosStormResolvesEveryRequest(t *testing.T) {
 		if err := json.Unmarshal(raw, &rep); err != nil {
 			t.Fatalf("post-storm report does not parse: %v", err)
 		}
-		if !strings.Contains(body, fmt.Sprintf("%q", rep.Model)) {
-			t.Errorf("cache served the wrong report: asked %s, got model %q", body, rep.Model)
+		if rep.Model != shape.Model {
+			t.Errorf("cache served the wrong report: asked %q, got model %q", shape.Model, rep.Model)
 		}
 	}
 

@@ -557,23 +557,15 @@ func (s *Server) writeProfileReport(w http.ResponseWriter, r *http.Request, ctx 
 }
 
 // staleFallback decides whether a failed live profile may degrade to
-// the session's last-known-good report. Degradation is for service
-// failures only: caller bugs (invalid models) keep their 4xx, a gone
-// client gets no body at all, and without a prior success there is
-// nothing to serve. Timeouts, circuit-open rejections, exhausted
-// retries and other internal failures all degrade — a slightly stale
-// analysis beats an error page for a read-mostly workload.
+// the session's last-known-good report. The policy (no degrading of
+// caller bugs or cancelled requests) lives in
+// profsession.FallbackFor, shared with the in-process workload
+// target; the HTTP edge only adds its own gone-client check.
 func (s *Server) staleFallback(r *http.Request, opts core.Options, err error) (*core.Report, bool) {
 	if r.Context().Err() != nil {
 		return nil, false
 	}
-	if _, ok := graph.AsValidationError(err); ok {
-		return nil, false
-	}
-	if errors.Is(err, context.Canceled) {
-		return nil, false
-	}
-	return s.sess.StaleFor(opts)
+	return s.sess.FallbackFor(opts, err)
 }
 
 // TracedProfileResponse is the POST /v1/profile?trace=1 body: the

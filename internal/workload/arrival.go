@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// ArrivalKind selects the arrival process shaping a scenario's traffic.
+type ArrivalKind string
+
+const (
+	// KindClosed is a closed loop: Clients virtual clients, each
+	// issuing Requests requests back to back (plus Think time), the
+	// next only after the previous response — throughput self-limits
+	// to what the server sustains, the classic load-generator mode
+	// that can never overload the target.
+	KindClosed ArrivalKind = "closed"
+	// KindPoisson is an open loop: requests fire at exponentially
+	// distributed inter-arrival times at Rate per second for Duration,
+	// regardless of how fast the server answers — the mode that
+	// reveals queueing collapse, because arrivals do not slow down
+	// when the server does.
+	KindPoisson ArrivalKind = "poisson"
+	// KindRamp is an open loop whose rate climbs linearly from
+	// StartRate to EndRate over Duration — a compressed diurnal curve.
+	KindRamp ArrivalKind = "ramp"
+	// KindFlash is an open loop at BaseRate with a flash crowd: the
+	// rate jumps to PeakRate inside [BurstStart, BurstStart+BurstLen).
+	KindFlash ArrivalKind = "flash"
+	// KindReplay re-drives a recorded trace at its recorded offsets;
+	// the schedule comes from the trace file, not a generator (see
+	// PlanFromTrace).
+	KindReplay ArrivalKind = "replay"
+)
+
+// Arrivals declares a scenario's arrival process. Exactly the fields
+// of the selected Kind matter; the rest stay zero.
+type Arrivals struct {
+	Kind ArrivalKind `json:"kind"`
+
+	// Closed loop.
+	Clients  int      `json:"clients,omitempty"`
+	Requests int      `json:"requests,omitempty"` // per client
+	Think    Duration `json:"think,omitempty"`    // pause between a response and the next request
+
+	// Open loop (poisson, ramp, flash).
+	Duration Duration `json:"duration,omitempty"`
+	Rate     float64  `json:"rate,omitempty"` // poisson: requests per second
+
+	// Ramp.
+	StartRate float64 `json:"start_rate,omitempty"`
+	EndRate   float64 `json:"end_rate,omitempty"`
+
+	// Flash crowd.
+	BaseRate   float64  `json:"base_rate,omitempty"`
+	PeakRate   float64  `json:"peak_rate,omitempty"`
+	BurstStart Duration `json:"burst_start,omitempty"`
+	BurstLen   Duration `json:"burst_len,omitempty"`
+}
+
+// Validate rejects arrival declarations the generators cannot execute.
+func (a Arrivals) Validate() error {
+	switch a.Kind {
+	case KindClosed:
+		if a.Clients <= 0 || a.Requests <= 0 {
+			return fmt.Errorf("workload: closed loop needs clients > 0 and requests > 0, got %d/%d", a.Clients, a.Requests)
+		}
+	case KindPoisson:
+		if a.Rate <= 0 || a.Duration <= 0 {
+			return fmt.Errorf("workload: poisson needs rate > 0 and duration > 0, got %g/%s", a.Rate, a.Duration)
+		}
+	case KindRamp:
+		if a.StartRate < 0 || a.EndRate <= 0 || a.Duration <= 0 {
+			return fmt.Errorf("workload: ramp needs start_rate >= 0, end_rate > 0 and duration > 0")
+		}
+	case KindFlash:
+		if a.BaseRate <= 0 || a.PeakRate < a.BaseRate || a.Duration <= 0 || a.BurstLen <= 0 {
+			return fmt.Errorf("workload: flash needs base_rate > 0, peak_rate >= base_rate, duration > 0 and burst_len > 0")
+		}
+	case KindReplay:
+		// The trace carries the schedule; nothing to validate here.
+	default:
+		return fmt.Errorf("workload: unknown arrival kind %q", a.Kind)
+	}
+	return nil
+}
+
+// open reports whether the kind generates an open-loop schedule.
+func (a Arrivals) open() bool {
+	return a.Kind == KindPoisson || a.Kind == KindRamp || a.Kind == KindFlash
+}
+
+// rateAt is the instantaneous arrival rate (req/s) at offset t.
+func (a Arrivals) rateAt(t time.Duration) float64 {
+	switch a.Kind {
+	case KindPoisson:
+		return a.Rate
+	case KindRamp:
+		frac := float64(t) / float64(a.Duration)
+		return a.StartRate + (a.EndRate-a.StartRate)*frac
+	case KindFlash:
+		if t >= a.BurstStart.D() && t < a.BurstStart.D()+a.BurstLen.D() {
+			return a.PeakRate
+		}
+		return a.BaseRate
+	}
+	return 0
+}
+
+// maxRate bounds rateAt over the scenario, for the thinning envelope.
+func (a Arrivals) maxRate() float64 {
+	switch a.Kind {
+	case KindPoisson:
+		return a.Rate
+	case KindRamp:
+		return math.Max(a.StartRate, a.EndRate)
+	case KindFlash:
+		return a.PeakRate
+	}
+	return 0
+}
+
+// Schedule generates the open-loop arrival offsets for seed: a sorted
+// slice of offsets in [0, Duration). The generator is a pure function
+// of (declaration, seed) — no wall clock anywhere — via Lewis-Shedler
+// thinning: candidates arrive as a homogeneous Poisson process at the
+// envelope rate maxRate, and each survives with probability
+// rateAt(t)/maxRate, which realizes the declared time-varying rate
+// exactly. Closed-loop and replay kinds have no generated schedule.
+func (a Arrivals) Schedule(seed uint64) ([]time.Duration, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if !a.open() {
+		return nil, fmt.Errorf("workload: %s arrivals have no generated schedule", a.Kind)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	env := a.maxRate()
+	var out []time.Duration
+	t := time.Duration(0)
+	for {
+		// Exponential inter-arrival at the envelope rate.
+		gap := time.Duration(rng.ExpFloat64() / env * float64(time.Second))
+		t += gap
+		if t >= a.Duration.D() {
+			return out, nil
+		}
+		if accept := a.rateAt(t) / env; accept >= 1 || rng.Float64() < accept {
+			out = append(out, t)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// All generator tests are pure functions of (declaration, seed): no
+// engine, no target, no wall clock. Fixed seeds make every assertion
+// exact-repeatable; the statistical bounds are wide enough (>4 sigma)
+// that they hold for any seed, and the fixed seed makes failures
+// reproducible rather than flaky.
+
+func TestPoissonScheduleDeterministic(t *testing.T) {
+	a := Arrivals{Kind: KindPoisson, Rate: 500, Duration: Duration(time.Second)}
+	s1, err := a.Schedule(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.Schedule(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed diverges at arrival %d: %s vs %s", i, s1[i], s2[i])
+		}
+	}
+	s3, err := a.Schedule(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3) == len(s1) {
+		same := true
+		for i := range s1 {
+			if s1[i] != s3[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical schedule")
+		}
+	}
+}
+
+func TestPoissonScheduleCountAndBounds(t *testing.T) {
+	const rate = 1000.0
+	a := Arrivals{Kind: KindPoisson, Rate: rate, Duration: Duration(time.Second)}
+	sched, err := a.Schedule(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson(1000): sigma ~ 32, so [850, 1150] is ~4.7 sigma.
+	if n := len(sched); n < 850 || n > 1150 {
+		t.Errorf("arrival count = %d, want ~1000 (within [850, 1150])", n)
+	}
+	var prev time.Duration
+	var sumGap time.Duration
+	for i, off := range sched {
+		if off < 0 || off >= time.Second {
+			t.Fatalf("arrival %d at %s outside [0, 1s)", i, off)
+		}
+		if off < prev {
+			t.Fatalf("arrival %d at %s regresses below %s", i, off, prev)
+		}
+		sumGap += off - prev
+		prev = off
+	}
+	// Mean inter-arrival must track 1/rate = 1ms.
+	mean := sumGap / time.Duration(len(sched))
+	if mean < 800*time.Microsecond || mean > 1200*time.Microsecond {
+		t.Errorf("mean inter-arrival = %s, want ~1ms", mean)
+	}
+}
+
+func TestRampScheduleSkewsLate(t *testing.T) {
+	a := Arrivals{Kind: KindRamp, StartRate: 50, EndRate: 450, Duration: Duration(time.Second)}
+	sched, err := a.Schedule(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected total: integral of the rate = (50+450)/2 = 250.
+	if n := len(sched); n < 175 || n > 325 {
+		t.Errorf("ramp count = %d, want ~250", n)
+	}
+	var first, second int
+	for _, off := range sched {
+		if off < 500*time.Millisecond {
+			first++
+		} else {
+			second++
+		}
+	}
+	// First half averages 150/s (expect ~75), second 350/s (~175):
+	// the late half must dominate by at least 1.5x.
+	if second <= first*3/2 {
+		t.Errorf("ramp did not skew late: %d arrivals in first half, %d in second", first, second)
+	}
+}
+
+func TestFlashCrowdScheduleBursts(t *testing.T) {
+	a := Arrivals{
+		Kind: KindFlash, BaseRate: 100, PeakRate: 2000,
+		Duration:   Duration(time.Second),
+		BurstStart: Duration(400 * time.Millisecond),
+		BurstLen:   Duration(200 * time.Millisecond),
+	}
+	sched, err := a.Schedule(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inBurst, outside int
+	for _, off := range sched {
+		if off >= 400*time.Millisecond && off < 600*time.Millisecond {
+			inBurst++
+		} else {
+			outside++
+		}
+	}
+	// Burst window: 2000/s over 200ms ~ 400 arrivals. Outside: 100/s
+	// over 800ms ~ 80.
+	if inBurst < 300 {
+		t.Errorf("burst window got %d arrivals, want ~400", inBurst)
+	}
+	if outside > 160 {
+		t.Errorf("baseline got %d arrivals, want ~80", outside)
+	}
+	// Burst density (arrivals per ms) must dwarf the baseline's.
+	burstDensity := float64(inBurst) / 200
+	baseDensity := float64(outside) / 800
+	if burstDensity < 10*baseDensity {
+		t.Errorf("burst density %.2f/ms not >> baseline %.2f/ms", burstDensity, baseDensity)
+	}
+}
+
+func TestHotKeySkewRatio(t *testing.T) {
+	m := Mix{
+		HotShare: 0.9,
+		Items: []Item{
+			{Model: "resnet-50", Platform: "a100", Seeds: 1},
+			{Model: "resnet-18", Platform: "a100", Seeds: 4},
+			{Model: "mobilenetv2-0.5", Platform: "a100", Seeds: 4},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := newPicker(m)
+	rng := rand.New(rand.NewPCG(7, pcgStream))
+	const draws = 20000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if r := p.pick(rng); r.Model == "resnet-50" {
+			hot++
+		}
+	}
+	// Binomial(20000, 0.9): sigma ~ 42 draws (~0.2%); +-2% is ~10 sigma.
+	frac := float64(hot) / draws
+	if frac < 0.88 || frac > 0.92 {
+		t.Errorf("hot key took %.3f of traffic, want ~0.9", frac)
+	}
+}
+
+func TestWeightedMixRespectsWeights(t *testing.T) {
+	m := Mix{Items: []Item{
+		{Model: "resnet-50", Platform: "a100", Weight: 3},
+		{Model: "resnet-18", Platform: "a100", Weight: 1},
+	}}
+	p := newPicker(m)
+	rng := rand.New(rand.NewPCG(11, pcgStream))
+	const draws = 20000
+	heavy := 0
+	for i := 0; i < draws; i++ {
+		if p.pick(rng).Model == "resnet-50" {
+			heavy++
+		}
+	}
+	if frac := float64(heavy) / draws; frac < 0.72 || frac > 0.78 {
+		t.Errorf("3:1 weighted item drew %.3f, want ~0.75", frac)
+	}
+}
+
+func TestMixExpandEnumeratesSeedFans(t *testing.T) {
+	m := Mix{Items: []Item{
+		{Model: "resnet-50", Platform: "a100", Batch: 8, Seeds: 16},
+		{Model: "resnet-18", Platform: "a100", Batch: 8, Seeds: 16},
+		{Model: "mobilenetv2-0.5", Platform: "a100", Batch: 8, Seeds: 16},
+	}}
+	all := m.Expand()
+	if len(all) != 48 {
+		t.Fatalf("Expand() = %d shapes, want 48", len(all))
+	}
+	seen := make(map[Request]bool, len(all))
+	for _, r := range all {
+		if seen[r] {
+			t.Fatalf("duplicate shape %+v", r)
+		}
+		seen[r] = true
+		if r.Seed < 1 || r.Seed > 16 {
+			t.Errorf("seed %d outside fan [1, 16]", r.Seed)
+		}
+	}
+}
+
+func TestArrivalsValidate(t *testing.T) {
+	bad := []Arrivals{
+		{Kind: "psychic"},
+		{Kind: KindClosed, Clients: 0, Requests: 5},
+		{Kind: KindClosed, Clients: 5, Requests: 0},
+		{Kind: KindPoisson, Rate: 0, Duration: Duration(time.Second)},
+		{Kind: KindPoisson, Rate: 100},
+		{Kind: KindRamp, StartRate: 10, EndRate: 0, Duration: Duration(time.Second)},
+		{Kind: KindFlash, BaseRate: 100, PeakRate: 50, Duration: Duration(time.Second), BurstLen: Duration(time.Millisecond)},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate() = nil, want error", i, a)
+		}
+	}
+	if err := (Arrivals{Kind: KindClosed, Clients: 2, Requests: 3}).Validate(); err != nil {
+		t.Errorf("valid closed loop rejected: %v", err)
+	}
+	// Closed-loop and replay kinds have no generated schedule.
+	if _, err := (Arrivals{Kind: KindClosed, Clients: 2, Requests: 3}).Schedule(1); err == nil {
+		t.Error("closed-loop Schedule() = nil error, want error")
+	}
+}

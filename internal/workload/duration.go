@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("250ms") so scenario files and verdict reports stay hand-editable.
+// Unmarshal accepts either a duration string or a bare number of
+// nanoseconds.
+type Duration time.Duration
+
+// D converts for call sites that want the stdlib type.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms"-style strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("workload: bad duration %q: %w", x, err)
+		}
+		*d = Duration(parsed)
+	case float64:
+		*d = Duration(time.Duration(x))
+	default:
+		return fmt.Errorf("workload: duration must be a string or number, got %T", v)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Item is one entry in a request mix: a (model, platform)
+// configuration, optionally fanned out across Seeds distinct profile
+// seeds (cache busting: each seed is a distinct cache key), with a
+// relative Weight for weighted mixes.
+type Item struct {
+	Model    string  `json:"model"`
+	Platform string  `json:"platform"`
+	Batch    int     `json:"batch,omitempty"`
+	Mode     string  `json:"mode,omitempty"`
+	Seeds    int     `json:"seeds,omitempty"`  // seed fan-out; <= 1 means one request shape with Seed 1
+	Weight   float64 `json:"weight,omitempty"` // relative draw weight; <= 0 means 1
+}
+
+// Mix decides what each request asks for. With HotShare zero, items
+// are drawn by Weight (split evenly across each item's seed fan).
+// With HotShare set, the FIRST item is the hot key and takes that
+// fraction of all traffic (e.g. 0.9 = one (model, platform) taking
+// 90%), the remaining share splitting evenly over the other items —
+// the skew that keeps one shard's cache red-hot while the long tail
+// stays cold.
+type Mix struct {
+	Items    []Item  `json:"items"`
+	HotShare float64 `json:"hot_share,omitempty"`
+}
+
+// Validate rejects mixes the picker cannot draw from.
+func (m Mix) Validate() error {
+	if len(m.Items) == 0 {
+		return fmt.Errorf("workload: mix has no items")
+	}
+	if m.HotShare < 0 || m.HotShare >= 1 {
+		if m.HotShare != 0 {
+			return fmt.Errorf("workload: hot_share must be in [0, 1), got %g", m.HotShare)
+		}
+	}
+	if m.HotShare > 0 && len(m.Items) < 2 {
+		return fmt.Errorf("workload: hot_share needs at least two items (hot + tail)")
+	}
+	for i, it := range m.Items {
+		if it.Model == "" || it.Platform == "" {
+			return fmt.Errorf("workload: mix item %d needs model and platform", i)
+		}
+	}
+	return nil
+}
+
+// expand lists an item's concrete request shapes, one per seed.
+func (it Item) expand() []Request {
+	n := it.Seeds
+	if n <= 1 {
+		n = 1
+	}
+	out := make([]Request, n)
+	for s := 0; s < n; s++ {
+		out[s] = Request{
+			Model:    it.Model,
+			Platform: it.Platform,
+			Batch:    it.Batch,
+			Seed:     uint64(s + 1),
+			Mode:     it.Mode,
+		}
+	}
+	return out
+}
+
+// Expand enumerates every distinct request shape the mix can emit —
+// the universe a post-run sweep must verify (e.g. "after the storm,
+// every configuration profiles cleanly").
+func (m Mix) Expand() []Request {
+	var out []Request
+	for _, it := range m.Items {
+		out = append(out, it.expand()...)
+	}
+	return out
+}
+
+// picker is the compiled draw table for one plan.
+type picker struct {
+	hotShare float64
+	hot      []Request // HotShare mode: the first item's shapes
+	tail     []Request // HotShare mode: everything else
+	weighted []Request // weight mode: all shapes
+	cum      []float64 // weight mode: cumulative weights over weighted
+}
+
+func newPicker(m Mix) *picker {
+	p := &picker{hotShare: m.HotShare}
+	if m.HotShare > 0 {
+		p.hot = m.Items[0].expand()
+		for _, it := range m.Items[1:] {
+			p.tail = append(p.tail, it.expand()...)
+		}
+		return p
+	}
+	var total float64
+	for _, it := range m.Items {
+		w := it.Weight
+		if w <= 0 {
+			w = 1
+		}
+		shapes := it.expand()
+		per := w / float64(len(shapes))
+		for _, r := range shapes {
+			total += per
+			p.weighted = append(p.weighted, r)
+			p.cum = append(p.cum, total)
+		}
+	}
+	return p
+}
+
+// pick draws one request shape.
+func (p *picker) pick(rng *rand.Rand) Request {
+	if p.hotShare > 0 {
+		if rng.Float64() < p.hotShare {
+			return p.hot[rng.IntN(len(p.hot))]
+		}
+		return p.tail[rng.IntN(len(p.tail))]
+	}
+	x := rng.Float64() * p.cum[len(p.cum)-1]
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return p.weighted[lo]
+}

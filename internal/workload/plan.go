@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math/rand/v2"
+	"time"
+)
+
+// planned is one fully decided request: what to ask for, when (open
+// loop), and how the client misbehaves. Everything here is fixed
+// before execution starts.
+type planned struct {
+	offset time.Duration // open loop / replay only
+	req    Request
+	cancel bool // cancel-happy: abandon CancelAfter after issuing
+	slow   bool // slow-loris: dribble the request body (HTTP targets)
+}
+
+// Plan is a compiled scenario: the exact request schedule a run will
+// execute. Compilation is a pure function of (scenario, seed) — the
+// engine adds no randomness of its own — so Digest pins "two runs
+// with the same seed produce identical request schedules".
+type Plan struct {
+	Scenario *Scenario
+	Seed     uint64
+
+	open     bool
+	arrivals []planned   // open loop and replay
+	clients  [][]planned // closed loop: one stream per virtual client
+}
+
+// pcgStream separates the plan's draw streams: arrival times and
+// request picks must not consume the same random sequence, or adding
+// a pick would silently shift every arrival.
+const pcgStream = 0x6c6f6164 // "load"
+
+// BuildPlan compiles a scenario under a seed. seed 0 selects the
+// scenario's own default seed.
+func BuildPlan(sc *Scenario, seed uint64) (*Plan, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Arrivals.Kind == KindReplay {
+		return nil, fmt.Errorf("workload: replay scenarios compile with PlanFromTrace, not BuildPlan")
+	}
+	if seed == 0 {
+		seed = sc.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	p := &Plan{Scenario: sc, Seed: seed}
+	beh := sc.Behavior
+	if p.open = sc.Arrivals.open(); p.open {
+		offsets, err := sc.Arrivals.Schedule(seed)
+		if err != nil {
+			return nil, err
+		}
+		picks := newPicker(sc.Mix)
+		rng := rand.New(rand.NewPCG(seed, pcgStream))
+		p.arrivals = make([]planned, len(offsets))
+		for i, off := range offsets {
+			p.arrivals[i] = planned{
+				offset: off,
+				req:    picks.pick(rng),
+				cancel: nth(beh.CancelEvery, i),
+				slow:   nth(beh.SlowEvery, i),
+			}
+		}
+		return p, nil
+	}
+	picks := newPicker(sc.Mix)
+	p.clients = make([][]planned, sc.Arrivals.Clients)
+	for c := range p.clients {
+		// Each virtual client draws from its own deterministic stream,
+		// so client counts can change without reshuffling the others.
+		rng := rand.New(rand.NewPCG(seed, pcgStream+1+uint64(c)))
+		stream := make([]planned, sc.Arrivals.Requests)
+		for i := range stream {
+			stream[i] = planned{
+				req:    picks.pick(rng),
+				cancel: nth(beh.CancelEvery, i),
+				slow:   nth(beh.SlowEvery, i),
+			}
+		}
+		p.clients[c] = stream
+	}
+	return p, nil
+}
+
+// nth selects every N-th index of a stream (i = 0-based): true at
+// i = N-1, 2N-1, ... — disabled when every <= 0.
+func nth(every, i int) bool {
+	return every > 0 && i%every == every-1
+}
+
+// PlanFromTrace compiles a recorded trace into a replay plan: each
+// entry fires at its recorded offset with its recorded request. The
+// scenario supplies grading (SLO) and behavior; its arrivals must be
+// KindReplay.
+func PlanFromTrace(sc *Scenario, entries []TraceEntry) (*Plan, error) {
+	if sc.Arrivals.Kind != KindReplay {
+		return nil, fmt.Errorf("workload: scenario %s is %q, want %q arrivals for a trace replay",
+			sc.Name, sc.Arrivals.Kind, KindReplay)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("workload: trace is empty")
+	}
+	p := &Plan{Scenario: sc, Seed: sc.Seed, open: true}
+	beh := sc.Behavior
+	p.arrivals = make([]planned, len(entries))
+	for i, e := range entries {
+		if i > 0 && e.Offset < entries[i-1].Offset {
+			return nil, fmt.Errorf("workload: trace offsets regress at entry %d (%s after %s)",
+				i, e.Offset, entries[i-1].Offset)
+		}
+		p.arrivals[i] = planned{
+			offset: e.Offset.D(),
+			req:    e.Request,
+			cancel: nth(beh.CancelEvery, i),
+			slow:   nth(beh.SlowEvery, i),
+		}
+	}
+	return p, nil
+}
+
+// Requests counts the plan's total planned requests.
+func (p *Plan) Requests() int {
+	if p.open {
+		return len(p.arrivals)
+	}
+	n := 0
+	for _, s := range p.clients {
+		n += len(s)
+	}
+	return n
+}
+
+// Distinct enumerates the distinct request shapes the plan can issue
+// (the mix universe for generated plans, the deduplicated trace for
+// replays).
+func (p *Plan) Distinct() []Request {
+	if p.Scenario.Arrivals.Kind != KindReplay {
+		return p.Scenario.Mix.Expand()
+	}
+	seen := make(map[Request]bool)
+	var out []Request
+	for _, a := range p.arrivals {
+		if !seen[a.req] {
+			seen[a.req] = true
+			out = append(out, a.req)
+		}
+	}
+	return out
+}
+
+// Digest is a stable hash over the full schedule — offsets, request
+// shapes, and client misbehavior. Two plans with equal digests will
+// issue byte-identical request sequences.
+func (p *Plan) Digest() string {
+	h := sha256.New()
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	hashPlanned := func(pl planned) {
+		writeU64(uint64(pl.offset))
+		hashString(h, pl.req.Model)
+		hashString(h, pl.req.Platform)
+		writeU64(uint64(pl.req.Batch))
+		writeU64(pl.req.Seed)
+		hashString(h, pl.req.Mode)
+		flags := uint64(0)
+		if pl.cancel {
+			flags |= 1
+		}
+		if pl.slow {
+			flags |= 2
+		}
+		writeU64(flags)
+	}
+	writeU64(p.Seed)
+	if p.open {
+		for _, a := range p.arrivals {
+			hashPlanned(a)
+		}
+	} else {
+		for c, stream := range p.clients {
+			writeU64(uint64(c))
+			for _, pl := range stream {
+				hashPlanned(pl)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashString(h hash.Hash, s string) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(s)))
+	h.Write(b[:])
+	h.Write([]byte(s))
+}

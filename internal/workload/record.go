@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// TraceEntry is one line of a recorded request log: when (offset from
+// run start) and what. The format is JSONL — greppable, appendable,
+// and diffable — so a production-shaped capture can be trimmed with
+// standard tools before re-driving it.
+type TraceEntry struct {
+	Offset Duration `json:"offset"`
+	Request
+}
+
+// WriteTrace writes entries as JSONL.
+func WriteTrace(w io.Writer, entries []TraceEntry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL request log.
+func ReadTrace(r io.Reader) ([]TraceEntry, error) {
+	var out []TraceEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e TraceEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadTrace reads a JSONL request log from disk.
+func LoadTrace(path string) ([]TraceEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// recorder accumulates issued requests during a run, then sorts them
+// by offset (concurrent clients finish recording out of order) for a
+// replayable trace.
+type recorder struct {
+	mu      sync.Mutex
+	entries []TraceEntry
+}
+
+func (rec *recorder) add(e TraceEntry) {
+	rec.mu.Lock()
+	rec.entries = append(rec.entries, e)
+	rec.mu.Unlock()
+}
+
+func (rec *recorder) sorted() []TraceEntry {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := append([]TraceEntry(nil), rec.entries...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}
