@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint bench-serving
+.PHONY: build test lint bench-serving bench-sweep
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,12 @@ lint:
 # only measured latencies move with the host.
 bench-serving:
 	$(GO) run ./cmd/proofload -name bench-serving -seed 1 -json -out BENCH_serving.json
+
+# bench-sweep regenerates BENCH_sweep.json: the pinned-seed 20-model ×
+# all-platform × batch-grid sweep, unmemoized vs memoized (cold
+# recording pass and warm plan-assembly pass) through one shared
+# layer-unit memo store. Grid, seed, point count and hit ratios are
+# deterministic; only wall times move with the host. The writer fails
+# if the warm memoized sweep is less than 5x faster than unmemoized.
+bench-sweep:
+	$(GO) test ./internal/core -run TestWriteSweepBenchArtifact -bench-out=$(CURDIR)/BENCH_sweep.json

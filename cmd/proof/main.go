@@ -90,15 +90,22 @@ func main() {
 		}()
 	}
 
-	// All profiling in this invocation goes through one cached session:
-	// a -compare or -runs invocation revisiting the same configuration
-	// is served from cache, and -cache-stats shows the counters.
-	sess := proof.NewSession(0)
+	// All profiling in this invocation goes through one cached session
+	// backed by a shared layer-unit memo store: a -compare or -runs
+	// invocation revisiting the same configuration is served from the
+	// report cache, structurally identical layers across sweep points
+	// are profiled once, and -cache-stats shows both sets of counters.
+	memoStore := proof.NewMemoStore(0)
+	sess := proof.NewMemoSession(0, memoStore)
 	if *cacheStats {
 		defer func() {
 			st := sess.Stats()
 			fmt.Fprintf(os.Stderr, "session cache: %d hits, %d misses, %d dedups, %d evictions, %d cached\n",
 				st.Hits, st.Misses, st.Dedups, st.Evictions, st.Size)
+			ms := memoStore.Stats()
+			fmt.Fprintf(os.Stderr, "layer memo: %d unit hits, %d misses, %d dedups, %d evictions, %d invalidations, %d plan hits, %d plan misses, %.1f%% hit ratio\n",
+				ms.Hits, ms.Misses, ms.Dedups, ms.Evictions, ms.Invalidations,
+				ms.PlanHits, ms.PlanMisses, 100*ms.HitRatio())
 		}()
 	}
 

@@ -31,6 +31,7 @@ import (
 
 	"proof/internal/core"
 	"proof/internal/faults"
+	"proof/internal/memo"
 	"proof/internal/profsession"
 	"proof/internal/server"
 )
@@ -45,6 +46,7 @@ func main() {
 		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body size cap")
 		drainTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		cacheCap     = flag.Int("cache-capacity", 0, "session report-cache capacity (0 = default 256)")
+		memoCap      = flag.Int("memo-capacity", memo.DefaultUnitCapacity, "layer-unit memo store capacity shared across all profiling (0 disables memoization)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and /debug/traces on this private address (empty = disabled)")
 		traceRing    = flag.Int("trace-ring", 0, "recent request traces retained for GET /debug/traces (0 = default 16)")
@@ -91,10 +93,17 @@ func main() {
 			"latency_rate", *faultLatencyRate, "blowthrough_rate", *faultBlowRate,
 			"seed", *faultSeed)
 	}
+	// One memo store is shared by every request, sweep and batch grid
+	// the daemon serves: cross-model layer redundancy is the point.
+	var memoStore *memo.Store
+	if *memoCap > 0 {
+		memoStore = memo.NewStore(memo.StoreConfig{UnitCapacity: *memoCap})
+	}
 	sess := profsession.NewWithConfig(profsession.Config{
 		Capacity:      *cacheCap,
 		StaleCapacity: *staleCap,
 		Profile:       profile,
+		Memo:          memoStore,
 		Retry: profsession.RetryPolicy{
 			Attempts:       *retryAttempts,
 			Base:           *retryBase,
@@ -119,6 +128,11 @@ func main() {
 		Logger:          logger,
 		TraceRingSize:   *traceRing,
 	})
+	if memoStore != nil {
+		if err := memo.RegisterMetrics(srv.Registry(), "proofd", memoStore); err != nil {
+			logger.Warn("memo metrics registration failed", "err", err.Error())
+		}
+	}
 
 	// SIGTERM (orchestrator stop) and SIGINT (Ctrl-C) both trigger the
 	// graceful drain; a second signal kills the process the usual way.

@@ -210,6 +210,24 @@ func (e *Engine) Timings(seed uint64) []sim.Timing {
 	return out
 }
 
+// WorkKeys returns the per-layer canonical content keys in execution
+// order — the identity material the memo layer combines with the
+// execution binding into unit signatures.
+func (e *Engine) WorkKeys() []string {
+	out := make([]string, len(e.layers))
+	for i, l := range e.layers {
+		out[i] = l.work.Key
+	}
+	return out
+}
+
+// LayerTiming simulates a single layer by execution index. The memoized
+// analysis path uses it to profile exactly the units the store is
+// missing instead of re-simulating the whole engine.
+func (e *Engine) LayerTiming(i int, seed uint64) sim.Timing {
+	return sim.SimulateLayer(e.layers[i].work, e.simConfig(seed))
+}
+
 // Works returns the per-layer simulation workloads in execution order.
 // Only the measurement path (ncusim) may consult this — it corresponds
 // to what hardware performance counters observe.

@@ -7,6 +7,7 @@ import (
 	"proof/internal/analysis"
 	"proof/internal/graph"
 	"proof/internal/hardware"
+	"proof/internal/memo"
 	"proof/internal/obs"
 	"proof/internal/sim"
 )
@@ -126,6 +127,7 @@ func BuildEngine(ctx context.Context, spec BuildSpec, rep *analysis.Rep, cfg Con
 				public: pub,
 				work: sim.Work{
 					Name:  r.Name,
+					Key:   memo.ReformatKey(t),
 					Class: sim.ClassMemCopy,
 					Bytes: bytes,
 				},
@@ -147,6 +149,7 @@ func BuildEngine(ctx context.Context, spec BuildSpec, rep *analysis.Rep, cfg Con
 		class := sim.ClassifyNodes(gr.Nodes, rep.Graph)
 		work := sim.Work{
 			Name:      pub.Name,
+			Key:       memo.ContentKey(rep.Graph, gr.Nodes, groupKindKey(gr.Kind)),
 			Class:     class,
 			HWFLOP:    sim.HardwareFLOPForNodes(gr.Nodes, rep.Graph, cfg.Platform),
 			ModelFLOP: cost.FLOP,
@@ -159,6 +162,16 @@ func BuildEngine(ctx context.Context, spec BuildSpec, rep *analysis.Rep, cfg Con
 		return nil, err
 	}
 	return e, nil
+}
+
+// groupKindKey names a fusion-group kind inside content keys: Myelin
+// regions and ordinary groups over the same nodes are lowered
+// differently and must never share a memoized unit.
+func groupKindKey(k GroupKind) string {
+	if k == KindMyelin {
+		return "myelin"
+	}
+	return "normal"
 }
 
 // lowerKernels fabricates the kernel-level lowering of a backend layer

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"proof/internal/graph"
+	"proof/internal/hardware"
+	"proof/internal/memo"
+	"proof/internal/models"
+)
+
+// TestSweepBuildsModelOnce is the regression guard for the sweep's
+// hoisted model build: one sweep must call the zoo builder exactly once
+// regardless of platform count, and every per-platform profiling call
+// must receive a pre-built graph clone plus the precomputed digest
+// (never the zoo key alone, which would rebuild per platform).
+func TestSweepBuildsModelOnce(t *testing.T) {
+	orig := sweepModelBuild
+	defer func() { sweepModelBuild = orig }()
+
+	var builds atomic.Int64
+	sweepModelBuild = func(info models.Info) (*graph.Graph, error) {
+		builds.Add(1)
+		return orig(info)
+	}
+
+	var mu sync.Mutex
+	var seen []Options
+	profile := func(ctx context.Context, opts Options) (*Report, error) {
+		mu.Lock()
+		seen = append(seen, opts)
+		mu.Unlock()
+		return ProfileCtx(ctx, opts)
+	}
+
+	results, err := PlatformSweepWith(context.Background(), "resnet-18", ModePredicted, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(hardware.List()) {
+		t.Fatalf("sweep returned %d results for %d platforms", len(results), len(hardware.List()))
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("sweep built the model %d times, want exactly 1", n)
+	}
+	if len(seen) == 0 {
+		t.Fatal("profile stub never called")
+	}
+	var wantDigest string
+	for i, opts := range seen {
+		if opts.Graph == nil {
+			t.Fatalf("profile call %d: sweep passed no pre-built graph", i)
+		}
+		if opts.GraphDigest == "" {
+			t.Fatalf("profile call %d: sweep passed no precomputed digest", i)
+		}
+		if wantDigest == "" {
+			wantDigest = opts.GraphDigest
+		} else if opts.GraphDigest != wantDigest {
+			t.Fatalf("profile call %d: digest %s differs from %s — not computed once", i, opts.GraphDigest, wantDigest)
+		}
+	}
+}
+
+// TestSweepMemoizedMatchesPlain: a sweep through a memo store must
+// produce the same rows as a plain sweep, and a repeat sweep must be
+// served from cached plans.
+func TestSweepMemoizedMatchesPlain(t *testing.T) {
+	plain, err := PlatformSweepWith(context.Background(), "resnet-18", ModePredicted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := memo.NewStore(memo.StoreConfig{})
+	memoProfile := func(ctx context.Context, opts Options) (*Report, error) {
+		opts.Memo = store
+		return ProfileCtx(ctx, opts)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := PlatformSweepWith(context.Background(), "resnet-18", ModePredicted, memoProfile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(plain) {
+			t.Fatalf("pass %d: %d rows, want %d", pass, len(got), len(plain))
+		}
+		for i := range got {
+			if got[i] != plain[i] {
+				t.Fatalf("pass %d row %d differs:\n  plain: %+v\n  memo:  %+v", pass, i, plain[i], got[i])
+			}
+		}
+	}
+	st := store.Stats()
+	if st.PlanHits == 0 {
+		t.Fatalf("repeat sweep hit no cached plans: %+v", st)
+	}
+}

@@ -11,7 +11,11 @@
 package hardware
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"hash"
 	"math"
 	"sort"
 	"time"
@@ -266,6 +270,118 @@ func (p *Platform) Describe() Info {
 	}
 	sort.Strings(info.SupportedTypes)
 	return info
+}
+
+// DescriptorHash returns a stable sha256 fingerprint of every field of
+// the platform descriptor. Caches keyed on platform identity (the layer
+// memo store) embed this hash instead of the Key alone, so editing any
+// descriptor number — a peak, an efficiency factor, a clock table —
+// changes the hash and can never serve results computed under the old
+// descriptor. The hash is recomputed from the live struct on every call
+// (descriptors are tiny); nothing is memoized, so in-place edits are
+// always observed.
+func (p *Platform) DescriptorHash() string {
+	h := sha256.New()
+	hashStr(h, "proof-platform-v1")
+	hashStr(h, p.Key)
+	hashStr(h, p.Name)
+	hashStr(h, p.Scenario)
+	hashStr(h, p.Arch)
+	hashStr(h, p.Runtime)
+
+	dts := make([]int, 0, len(p.PeakFLOPS))
+	for dt := range p.PeakFLOPS {
+		dts = append(dts, int(dt))
+	}
+	sort.Ints(dts)
+	hashInt(h, int64(len(dts)))
+	for _, dt := range dts {
+		hashInt(h, int64(dt))
+		hashFloat(h, p.PeakFLOPS[graph.DataType(dt)])
+	}
+
+	hashFloat(h, p.MemBW)
+	hashInt(h, p.SRAMBytes)
+	hashInt(h, int64(p.KernelOverhead))
+	hashFloat(h, p.MaxComputeEff)
+	hashFloat(h, p.MaxMemEff)
+	hashFloat(h, p.IssueBWPerMHz)
+
+	if p.TensorCore != nil {
+		hashStr(h, p.TensorCore.Arch)
+		hashInt(h, int64(p.TensorCore.FLOPPerMMA))
+	} else {
+		hashStr(h, "no-tc")
+	}
+
+	hashInt(h, int64(p.DefaultDType))
+	hashInt(h, int64(p.DefaultBatch))
+
+	if c := p.Clocks; c != nil {
+		hashInt(h, int64(c.GPUMaxMHz))
+		hashInts(h, c.GPUOptionsMHz)
+		hashInt(h, int64(c.EMCMaxMHz))
+		hashInts(h, c.EMCOptionsMHz)
+		hashInt(h, int64(c.CPUMaxMHz))
+	} else {
+		hashStr(h, "no-dvfs")
+	}
+
+	if pm := p.Power; pm != nil {
+		hashFloat(h, pm.StaticW)
+		hashFloat(h, pm.CPUClusterW)
+		hashFloat(h, pm.GPUMaxW)
+		hashFloat(h, pm.GPUExp)
+		hashFloat(h, pm.EMCWPerMHz)
+		hashFloat(h, pm.GPUIdleFrac)
+		hashFloat(h, pm.EMCIdleFrac)
+	} else {
+		hashStr(h, "no-power")
+	}
+
+	types := make([]string, 0, len(p.SupportedTypes))
+	for t, ok := range p.SupportedTypes {
+		if ok {
+			types = append(types, t)
+		}
+	}
+	sort.Strings(types)
+	hashInt(h, int64(len(types)))
+	for _, t := range types {
+		hashStr(h, t)
+	}
+	if p.SupportedTypes == nil {
+		hashStr(h, "all-types")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashStr writes a length-prefixed string, so concatenations of
+// adjacent fields cannot collide ("ab"+"c" vs "a"+"bc").
+func hashStr(h hash.Hash, s string) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s)))
+	h.Write(buf[:n])
+	h.Write([]byte(s))
+}
+
+func hashInt(h hash.Hash, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	h.Write(buf[:n])
+}
+
+func hashInts(h hash.Hash, vs []int) {
+	hashInt(h, int64(len(vs)))
+	for _, v := range vs {
+		hashInt(h, int64(v))
+	}
+}
+
+func hashFloat(h hash.Hash, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	h.Write(buf[:])
 }
 
 // Supports reports whether the platform runs models of the given family

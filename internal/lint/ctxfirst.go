@@ -15,6 +15,7 @@ import (
 var defaultCtxScopes = []string{
 	"internal/core",
 	"internal/backend",
+	"internal/memo",
 	"internal/parallel",
 	"internal/profsession",
 	"internal/roofline",

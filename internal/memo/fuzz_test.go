@@ -1,0 +1,82 @@
+package memo
+
+import (
+	"encoding/json"
+	"testing"
+
+	"proof/internal/graph"
+)
+
+// FuzzLayerSignature feeds arbitrary JSON-shaped graphs through the
+// signature path and checks the two invariants the memo store relies
+// on: hashing never panics on malformed graphs (missing tensors, nil
+// attrs, empty shapes), and the key is a pure function of content —
+// deterministic across calls and invariant under renaming every node
+// and tensor.
+func FuzzLayerSignature(f *testing.F) {
+	seed := func(g *graph.Graph) {
+		raw, err := json.Marshal(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	seed(convGraph(""))
+	empty := graph.New("empty")
+	seed(empty)
+	dangling := graph.New("dangling")
+	dangling.AddNode(&graph.Node{Name: "n", OpType: "Add", Inputs: []string{"missing"}, Outputs: []string{"also-missing"}})
+	seed(dangling)
+	f.Add([]byte(`{"name":"x","nodes":[{"op_type":"Conv","attrs":{"k":{"kind":2,"ints":[1,2]}}}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var g graph.Graph
+		if err := json.Unmarshal(raw, &g); err != nil {
+			return
+		}
+		k1 := ContentKey(&g, g.Nodes, "normal")
+		k2 := ContentKey(&g, g.Nodes, "normal")
+		if k1 != k2 {
+			t.Fatalf("content key not deterministic: %s != %s", k1, k2)
+		}
+		sig := UnitSignature(k1, baseBinding())
+		if sig == UnitSignature(k1+"x", baseBinding()) {
+			t.Fatal("distinct content keys produced equal signatures")
+		}
+
+		// Rename every node and tensor: the key must not move. Tensor
+		// references inside nodes are renamed consistently so the
+		// slot/sharing structure is preserved.
+		renamed := g.Clone()
+		names := map[string]string{}
+		tensors := make(map[string]*graph.Tensor, len(renamed.Tensors))
+		for key, tn := range renamed.Tensors {
+			names[key] = "t/" + key
+			tn.Name = "t/" + tn.Name
+			tensors["t/"+key] = tn
+		}
+		renamed.Tensors = tensors
+		rename := func(refs []string) {
+			for i, r := range refs {
+				if n, ok := names[r]; ok {
+					refs[i] = n
+				} else {
+					// Dangling reference: rename consistently anyway.
+					names[r] = "t/" + r
+					refs[i] = "t/" + r
+				}
+			}
+		}
+		for _, n := range renamed.Nodes {
+			n.Name = "n/" + n.Name
+			rename(n.Inputs)
+			rename(n.Outputs)
+		}
+		rename(renamed.Inputs)
+		rename(renamed.Outputs)
+		if k3 := ContentKey(renamed, renamed.Nodes, "normal"); k3 != k1 {
+			t.Fatalf("renaming nodes/tensors changed the content key: %s != %s", k3, k1)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package memo
+
+import (
+	"errors"
+
+	"proof/internal/obs"
+)
+
+// RegisterMetrics publishes a store's counters into reg under
+// <prefix>_memo_*, read live at scrape time. Call once per
+// store/registry pair; a second registration of the same names returns
+// an error wrapping obs.ErrMetricConflict.
+func RegisterMetrics(reg *obs.Registry, prefix string, s *Store) error {
+	if reg == nil || s == nil {
+		return nil
+	}
+	p := prefix + "_memo_"
+	errs := []error{
+		reg.CounterFunc(p+"hits_total",
+			"Layer-unit lookups served from the memo store.",
+			func() float64 { return float64(s.Stats().Hits) }),
+		reg.CounterFunc(p+"misses_total",
+			"Layer-unit lookups that profiled the unit.",
+			func() float64 { return float64(s.Stats().Misses) }),
+		reg.CounterFunc(p+"dedups_total",
+			"Layer-unit lookups that joined an in-flight computation.",
+			func() float64 { return float64(s.Stats().Dedups) }),
+		reg.CounterFunc(p+"failures_total",
+			"Layer-unit computations that errored and were not cached.",
+			func() float64 { return float64(s.Stats().Failures) }),
+		reg.CounterFunc(p+"evictions_total",
+			"Layer units dropped by the LRU policy.",
+			func() float64 { return float64(s.Stats().Evictions) }),
+		reg.CounterFunc(p+"invalidations_total",
+			"Entries purged by platform descriptor-hash changes.",
+			func() float64 { return float64(s.Stats().Invalidations) }),
+		reg.CounterFunc(p+"plan_hits_total",
+			"Profiling points assembled entirely from a cached plan.",
+			func() float64 { return float64(s.Stats().PlanHits) }),
+		reg.CounterFunc(p+"plan_misses_total",
+			"Profiling points that ran the pipeline and recorded a plan.",
+			func() float64 { return float64(s.Stats().PlanMisses) }),
+		reg.GaugeFunc(p+"units",
+			"Layer units currently memoized.",
+			func() float64 { return float64(s.Stats().Units) }),
+		reg.GaugeFunc(p+"plans",
+			"Assembly plans currently memoized.",
+			func() float64 { return float64(s.Stats().Plans) }),
+		reg.GaugeFunc(p+"hit_ratio",
+			"Lifetime unit hit ratio: hits / (hits + misses).",
+			func() float64 { return s.Stats().HitRatio() }),
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,279 @@
+package memo
+
+import (
+	"strings"
+	"testing"
+
+	"proof/internal/graph"
+	"proof/internal/hardware"
+)
+
+// convGraph builds a small two-node graph (Conv -> Relu) whose names,
+// attribute insertion order and tensor names the tests permute.
+func convGraph(prefix string) *graph.Graph {
+	g := graph.New(prefix + "net")
+	g.AddTensor(&graph.Tensor{Name: prefix + "in", DType: graph.Float32, Shape: graph.Shape{1, 3, 224, 224}})
+	g.AddTensor(&graph.Tensor{Name: prefix + "w", DType: graph.Float32, Shape: graph.Shape{64, 3, 7, 7}, Param: true})
+	g.AddTensor(&graph.Tensor{Name: prefix + "mid", DType: graph.Float32, Shape: graph.Shape{1, 64, 112, 112}})
+	g.AddTensor(&graph.Tensor{Name: prefix + "out", DType: graph.Float32, Shape: graph.Shape{1, 64, 112, 112}})
+	g.AddNode(&graph.Node{
+		Name:    prefix + "conv",
+		OpType:  "Conv",
+		Inputs:  []string{prefix + "in", prefix + "w"},
+		Outputs: []string{prefix + "mid"},
+		Attrs: graph.Attrs{
+			"strides":      graph.IntsAttr(2, 2),
+			"pads":         graph.IntsAttr(3, 3, 3, 3),
+			"kernel_shape": graph.IntsAttr(7, 7),
+			"group":        graph.IntAttr(1),
+		},
+	})
+	g.AddNode(&graph.Node{
+		Name:    prefix + "relu",
+		OpType:  "Relu",
+		Inputs:  []string{prefix + "mid"},
+		Outputs: []string{prefix + "out"},
+	})
+	return g
+}
+
+func contentKeyOf(g *graph.Graph) string {
+	return ContentKey(g, g.Nodes, "normal")
+}
+
+func TestContentKeyDeterministic(t *testing.T) {
+	g := convGraph("")
+	want := contentKeyOf(g)
+	// Go randomizes map iteration order per range; many repetitions catch
+	// any leak of attr-map order into the hash.
+	for i := 0; i < 200; i++ {
+		if got := contentKeyOf(g); got != want {
+			t.Fatalf("iteration %d: key changed: %s != %s", i, got, want)
+		}
+	}
+}
+
+func TestContentKeyIgnoresNames(t *testing.T) {
+	want := contentKeyOf(convGraph(""))
+	if got := contentKeyOf(convGraph("renamed/")); got != want {
+		t.Fatalf("renaming nodes and tensors changed the key:\n  %s\n  %s", got, want)
+	}
+}
+
+func TestContentKeyIgnoresAttrInsertionOrder(t *testing.T) {
+	g := convGraph("")
+	want := contentKeyOf(g)
+	// Rebuild the conv attrs in reverse insertion order.
+	conv := g.Node("conv")
+	attrs := graph.Attrs{}
+	attrs["group"] = graph.IntAttr(1)
+	attrs["kernel_shape"] = graph.IntsAttr(7, 7)
+	attrs["pads"] = graph.IntsAttr(3, 3, 3, 3)
+	attrs["strides"] = graph.IntsAttr(2, 2)
+	conv.Attrs = attrs
+	if got := contentKeyOf(g); got != want {
+		t.Fatalf("attr insertion order changed the key")
+	}
+}
+
+// TestContentKeySensitivity mutates one semantic field at a time and
+// requires each mutation to move the key: a collision here would let
+// the memo store serve one layer's profile for a different layer.
+func TestContentKeySensitivity(t *testing.T) {
+	base := contentKeyOf(convGraph(""))
+	mutations := map[string]func(g *graph.Graph){
+		"op type":        func(g *graph.Graph) { g.Node("conv").OpType = "ConvTranspose" },
+		"attr int":       func(g *graph.Graph) { g.Node("conv").Attrs["group"] = graph.IntAttr(2) },
+		"attr ints":      func(g *graph.Graph) { g.Node("conv").Attrs["strides"] = graph.IntsAttr(1, 1) },
+		"attr added":     func(g *graph.Graph) { g.Node("conv").Attrs["dilations"] = graph.IntsAttr(1, 1) },
+		"attr removed":   func(g *graph.Graph) { delete(g.Node("conv").Attrs, "group") },
+		"attr key":       func(g *graph.Graph) { a := g.Node("conv").Attrs; a["strides2"] = a["strides"]; delete(a, "strides") },
+		"input shape":    func(g *graph.Graph) { g.Tensor("in").Shape = graph.Shape{1, 3, 112, 112} },
+		"input dtype":    func(g *graph.Graph) { g.Tensor("in").DType = graph.Float16 },
+		"output shape":   func(g *graph.Graph) { g.Tensor("out").Shape = graph.Shape{1, 64, 56, 56} },
+		"param flag":     func(g *graph.Graph) { g.Tensor("w").Param = false },
+		"const int data": func(g *graph.Graph) { g.Tensor("w").IntData = []int64{4} },
+		"extra input":    func(g *graph.Graph) { n := g.Node("conv"); n.Inputs = append(n.Inputs, "w") },
+		"node dropped":   func(g *graph.Graph) { g.Nodes = g.Nodes[:1] },
+	}
+	for name, mutate := range mutations {
+		g := convGraph("")
+		mutate(g)
+		if got := contentKeyOf(g); got == base {
+			t.Errorf("mutation %q did not change the content key", name)
+		}
+	}
+	if got := ContentKey(convGraph(""), convGraph("").Nodes, "myelin"); got == base {
+		t.Errorf("group kind did not change the content key")
+	}
+}
+
+// TestContentKeyTensorIdentity: the same tensor referenced twice must
+// hash differently from two distinct tensors with identical contents —
+// slot indices carry the sharing structure.
+func TestContentKeyTensorIdentity(t *testing.T) {
+	shared := convGraph("")
+	n := shared.Node("relu")
+	n.Inputs = []string{"mid", "mid"}
+
+	distinct := convGraph("")
+	distinct.AddTensor(&graph.Tensor{Name: "mid2", DType: graph.Float32, Shape: graph.Shape{1, 64, 112, 112}})
+	n2 := distinct.Node("relu")
+	n2.Inputs = []string{"mid", "mid2"}
+
+	if contentKeyOf(shared) == contentKeyOf(distinct) {
+		t.Fatalf("shared vs distinct input tensors collided")
+	}
+}
+
+// TestContentKeyFraming: adjacent variable-length fields must not be
+// re-splittable into a colliding encoding ("ab"+"c" vs "a"+"bc").
+func TestContentKeyFraming(t *testing.T) {
+	mk := func(op1, op2 string) string {
+		g := graph.New("f")
+		g.AddTensor(&graph.Tensor{Name: "t", DType: graph.Float32, Shape: graph.Shape{1}})
+		g.AddNode(&graph.Node{Name: "n1", OpType: op1, Outputs: []string{"t"}})
+		g.AddNode(&graph.Node{Name: "n2", OpType: op2, Inputs: []string{"t"}})
+		return contentKeyOf(g)
+	}
+	if mk("ab", "c") == mk("a", "bc") {
+		t.Fatalf("adjacent op-type strings re-split into a collision")
+	}
+}
+
+func TestContentKeyNilTolerant(t *testing.T) {
+	g := convGraph("")
+	if ContentKey(nil, g.Nodes, "normal") == contentKeyOf(g) {
+		t.Fatalf("nil graph (all tensors unresolvable) collided with resolved graph")
+	}
+	nodes := append([]*graph.Node{nil}, g.Nodes...)
+	_ = ContentKey(g, nodes, "normal") // must not panic
+}
+
+func TestReformatKey(t *testing.T) {
+	a := &graph.Tensor{Name: "x", DType: graph.Float16, Shape: graph.Shape{8, 64, 56, 56}}
+	b := &graph.Tensor{Name: "renamed", DType: graph.Float16, Shape: graph.Shape{8, 64, 56, 56}}
+	if ReformatKey(a) != ReformatKey(b) {
+		t.Fatalf("reformat key depends on the tensor name")
+	}
+	c := &graph.Tensor{Name: "x", DType: graph.Float32, Shape: graph.Shape{8, 64, 56, 56}}
+	if ReformatKey(a) == ReformatKey(c) {
+		t.Fatalf("reformat key ignores dtype")
+	}
+	d := &graph.Tensor{Name: "x", DType: graph.Float16, Shape: graph.Shape{8, 64, 56, 57}}
+	if ReformatKey(a) == ReformatKey(d) {
+		t.Fatalf("reformat key ignores shape")
+	}
+}
+
+func baseBinding() Binding {
+	return Binding{
+		Backend:      "trtsim",
+		PlatformKey:  "a100",
+		PlatformHash: "abc123",
+		DType:        graph.Float16,
+		Batch:        8,
+		Mode:         "predicted",
+		Seed:         1,
+	}
+}
+
+// TestUnitSignatureSensitivity: every binding field keys the cache —
+// the same layer content behaves differently per platform, dtype,
+// batch, mode, seed and clock configuration.
+func TestUnitSignatureSensitivity(t *testing.T) {
+	ck := contentKeyOf(convGraph(""))
+	base := UnitSignature(ck, baseBinding())
+	mutations := map[string]func(b *Binding){
+		"backend":        func(b *Binding) { b.Backend = "other" },
+		"platform key":   func(b *Binding) { b.PlatformKey = "agx" },
+		"platform hash":  func(b *Binding) { b.PlatformHash = "def456" },
+		"dtype":          func(b *Binding) { b.DType = graph.Int8 },
+		"batch":          func(b *Binding) { b.Batch = 16 },
+		"mode":           func(b *Binding) { b.Mode = "measured" },
+		"seed":           func(b *Binding) { b.Seed = 2 },
+		"gpu clock":      func(b *Binding) { b.Clocks.GPUMHz = 900 },
+		"emc clock":      func(b *Binding) { b.Clocks.EMCMHz = 1600 },
+		"cpu clock":      func(b *Binding) { b.Clocks.CPUMHz = 1200 },
+		"cpu clusters":   func(b *Binding) { b.Clocks.CPUClusters = 2 },
+		"gpu capacity":   func(b *Binding) { b.Clocks.GPUCapacity = 0.5 },
+		"content change": func(b *Binding) {}, // handled below
+	}
+	for name, mutate := range mutations {
+		b := baseBinding()
+		mutate(&b)
+		sig := UnitSignature(ck, b)
+		if name == "content change" {
+			sig = UnitSignature(ck+"x", b)
+		}
+		if sig == base {
+			t.Errorf("mutation %q did not change the unit signature", name)
+		}
+	}
+}
+
+func TestUnitSignatureUsesDescriptorHash(t *testing.T) {
+	p, ok := hardware.Lookup("a100")
+	if !ok {
+		t.Fatal("platform a100 missing")
+	}
+	edited := *p
+	edited.MemBW *= 2
+	b1, b2 := baseBinding(), baseBinding()
+	b1.PlatformHash = p.DescriptorHash()
+	b2.PlatformHash = edited.DescriptorHash()
+	if b1.PlatformHash == b2.PlatformHash {
+		t.Fatal("editing MemBW did not change the descriptor hash")
+	}
+	ck := contentKeyOf(convGraph(""))
+	if UnitSignature(ck, b1) == UnitSignature(ck, b2) {
+		t.Fatal("edited platform descriptor did not change the unit signature")
+	}
+}
+
+func TestPlanKeySensitivity(t *testing.T) {
+	b := baseBinding()
+	base := PlanKey("resnet-50", "zoo:resnet-50", b)
+	if PlanKey("resnet-50-renamed", "zoo:resnet-50", b) == base {
+		t.Error("model display name does not key the plan")
+	}
+	if PlanKey("resnet-50", "graph:deadbeef", b) == base {
+		t.Error("content source does not key the plan")
+	}
+	b2 := b
+	b2.Batch = 32
+	if PlanKey("resnet-50", "zoo:resnet-50", b2) == base {
+		t.Error("binding does not key the plan")
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	sig := UnitSignature("ck", baseBinding())
+	s := sig.String()
+	if len(s) != 64 || strings.Trim(s, "0123456789abcdef") != "" {
+		t.Fatalf("signature string is not 64 hex chars: %q", s)
+	}
+}
+
+func TestGraphDigestStable(t *testing.T) {
+	d1, err := GraphDigest(convGraph(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := GraphDigest(convGraph(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("graph digest not deterministic")
+	}
+	g := convGraph("")
+	g.Tensor("in").Shape = graph.Shape{2, 3, 224, 224}
+	d3, err := GraphDigest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("graph digest ignores tensor shapes")
+	}
+}

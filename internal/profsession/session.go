@@ -20,6 +20,7 @@ import (
 	"proof/internal/core"
 	"proof/internal/faults"
 	"proof/internal/graph"
+	"proof/internal/memo"
 	"proof/internal/obs"
 	"proof/internal/parallel"
 )
@@ -94,6 +95,12 @@ type Config struct {
 	Retry RetryPolicy
 	// Breaker enables the per-(model, platform) circuit breaker.
 	Breaker BreakerConfig
+	// Memo optionally attaches a shared layer-unit memo store
+	// (internal/memo) to every executed request: report-cache misses
+	// that re-profile overlapping models then reuse memoized layer
+	// units instead of re-simulating them. Requests that bring their
+	// own Options.Memo keep it.
+	Memo *memo.Store
 }
 
 // Stats is a point-in-time snapshot of a Session's counters.
@@ -159,6 +166,7 @@ type Session struct {
 	profile  core.ProfileFunc
 	retry    RetryPolicy
 	breakers *breakerSet // nil when the breaker is disabled
+	memo     *memo.Store // nil when memoization is disabled
 
 	mu       sync.Mutex
 	order    *list.List // front = most recently used; values are *entry
@@ -211,6 +219,7 @@ func NewWithConfig(cfg Config) *Session {
 		capacity:     cfg.Capacity,
 		profile:      cfg.Profile,
 		retry:        cfg.Retry,
+		memo:         cfg.Memo,
 		order:        list.New(),
 		entries:      make(map[string]*list.Element),
 		inflight:     make(map[string]*call),
@@ -308,6 +317,9 @@ func (s *Session) profileOutcome(ctx context.Context, opts core.Options) (*core.
 	run := opts
 	if run.Graph != nil {
 		run.Graph = run.Graph.Clone()
+	}
+	if run.Memo == nil {
+		run.Memo = s.memo
 	}
 	rep, err := s.execute(ctx, run)
 	c.rep, c.err = rep, err

@@ -25,8 +25,15 @@ type Config struct {
 
 // Work describes one backend layer to simulate.
 type Work struct {
-	// Name identifies the layer (used for deterministic jitter).
+	// Name identifies the layer.
 	Name string
+	// Key is the layer's canonical content fingerprint (set by the
+	// backend build from the fused nodes' ops/attrs/shapes). The
+	// deterministic jitter is derived from it, so structurally
+	// identical layers — the same unit appearing in two models, or
+	// under different runtime-assigned names — behave identically, as
+	// they would on real hardware. Empty falls back to Name.
+	Key string
 	// Class selects the efficiency envelope.
 	Class Class
 	// HWFLOP is the instruction-counted FLOP (see HardwareFLOP).
@@ -144,7 +151,7 @@ func SimulateLayer(w Work, cfg Config) Timing {
 
 	overhead := plat.KernelOverhead.Seconds()
 	lat := overhead + math.Max(tc, tm)
-	lat *= 1 + jitter(w.Name, cfg.Seed, 0.015)
+	lat *= 1 + jitter(jitterKey(w), cfg.Seed, 0.015)
 
 	bound := "overhead"
 	switch {
@@ -199,14 +206,23 @@ func measuredBytes(w Work, cfg Config) int64 {
 	if w.Bytes == 0 {
 		return 0
 	}
-	d := jitter(w.Name+"/bytes", 0, 1) // stable across runs
+	d := jitter(jitterKey(w)+"/bytes", 0, 1) // stable across runs
 	// Map [-1,1] to [-5%, +8%].
 	frac := 0.015 + d*0.065
 	return int64(float64(w.Bytes) * (1 + frac))
 }
 
+// jitterKey selects the identity the deterministic jitter hashes:
+// content key when the build provided one, layer name otherwise.
+func jitterKey(w Work) string {
+	if w.Key != "" {
+		return w.Key
+	}
+	return w.Name
+}
+
 // jitter returns a deterministic pseudo-random value in [-scale, scale]
-// derived from the layer name and seed.
+// derived from the layer identity and seed.
 func jitter(name string, seed uint64, scale float64) float64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))

@@ -37,6 +37,7 @@ import (
 	"proof/internal/graph"
 	"proof/internal/graphops"
 	"proof/internal/hardware"
+	"proof/internal/memo"
 	"proof/internal/modelfmt"
 	"proof/internal/models"
 	"proof/internal/obs"
@@ -125,6 +126,32 @@ func FingerprintOptions(opts Options) (string, error) { return profsession.Finge
 // CacheOutcome reports how a Session served one request: "hit", "miss"
 // or "dedup".
 type CacheOutcome = profsession.Outcome
+
+// MemoStore is a layer-unit memo store: per-layer profiling results
+// keyed by canonical layer signature (op type, attributes, tensor
+// shapes/dtypes, batch, mode and platform descriptor hash), shared
+// across models, platforms and batch sizes. See internal/memo.
+type MemoStore = memo.Store
+
+// MemoStats is a snapshot of a MemoStore's hit/miss/eviction counters.
+type MemoStats = memo.Stats
+
+// NewMemoStore creates a layer-unit memo store with the given unit
+// capacity (<= 0 selects the default of 16384 units).
+func NewMemoStore(capacity int) *MemoStore {
+	if capacity <= 0 {
+		capacity = memo.DefaultUnitCapacity
+	}
+	return memo.NewStore(memo.StoreConfig{UnitCapacity: capacity})
+}
+
+// NewMemoSession creates a profiling session whose cache-miss
+// executions share the given layer-unit memo store: structurally
+// identical layers across requests, sweeps and batch grids are
+// profiled once. A nil store yields a plain session.
+func NewMemoSession(capacity int, st *MemoStore) *Session {
+	return profsession.NewWithConfig(profsession.Config{Capacity: capacity, Memo: st})
+}
 
 // Server is the proofd HTTP profiling service (JSON API over a shared
 // Session, admission control, request timeouts, graceful drain). See
