@@ -9,6 +9,8 @@
 //	POST /v1/sweep      profile a model across every platform
 //	GET  /v1/models     list the model zoo
 //	GET  /v1/platforms  list the hardware platforms
+//	GET  /v1/history    query the persistent profile history (-store-dir)
+//	GET  /v1/drift      roofline drift detection vs a baseline revision
 //	GET  /healthz       liveness/readiness (503 while draining)
 //	GET  /metrics       Prometheus text exposition
 //
@@ -31,6 +33,7 @@ import (
 
 	"proof/internal/core"
 	"proof/internal/faults"
+	"proof/internal/histstore"
 	"proof/internal/memo"
 	"proof/internal/profsession"
 	"proof/internal/server"
@@ -50,6 +53,12 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and /debug/traces on this private address (empty = disabled)")
 		traceRing    = flag.Int("trace-ring", 0, "recent request traces retained for GET /debug/traces (0 = default 16)")
+
+		// History: persistent profile store + drift endpoints.
+		storeDir     = flag.String("store-dir", "", "persist profile reports to this history store directory (empty = disabled)")
+		storeSegment = flag.Int64("store-segment-bytes", 0, "history segment rotation size (0 = 4 MiB)")
+		storeQueue   = flag.Int("store-queue", 0, "async history write queue depth; overflow drops records (0 = 256)")
+		gitRev       = flag.String("git-rev", "", "code revision stamped onto stored reports (empty = the binary's vcs.revision)")
 
 		// Resilience: retries, per-attempt timeouts, circuit breaking.
 		retryAttempts  = flag.Int("retry-attempts", 3, "profiling attempts per execution for transient failures (<= 1 disables retries)")
@@ -117,6 +126,21 @@ func main() {
 		},
 	})
 
+	var hist *histstore.Store
+	if *storeDir != "" {
+		var err error
+		hist, err = histstore.Open(*storeDir, histstore.Options{SegmentBytes: *storeSegment})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proofd: opening history store %s: %v\n", *storeDir, err)
+			os.Exit(1)
+		}
+		defer hist.Close()
+		st := hist.Stats()
+		logger.Info("history store open", "dir", *storeDir,
+			"records", st.Records, "segments", st.Segments,
+			"skipped_records", st.SkippedRecords, "truncated_bytes", st.TruncatedBytes)
+	}
+
 	srv := server.New(server.Config{
 		Session:         sess,
 		MaxInflight:     *maxInflight,
@@ -127,6 +151,9 @@ func main() {
 		ShutdownTimeout: *drainTimeout,
 		Logger:          logger,
 		TraceRingSize:   *traceRing,
+		History:         hist,
+		HistoryQueue:    *storeQueue,
+		GitRev:          *gitRev,
 	})
 	if memoStore != nil {
 		if err := memo.RegisterMetrics(srv.Registry(), "proofd", memoStore); err != nil {

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"proof/internal/histstore"
+)
+
+// runCLI drives the real entrypoint in-process and returns the exit
+// code plus captured stdout/stderr.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func seedMeta(model, platform, gitRev, descHash, bound string, ts time.Time, attainable float64) histstore.Meta {
+	return histstore.Meta{
+		Model:           model,
+		Platform:        platform,
+		DescriptorHash:  descHash,
+		GitRev:          gitRev,
+		TimestampNS:     ts.UnixNano(),
+		Backend:         "analytical",
+		Batch:           8,
+		DType:           "fp16",
+		Bound:           bound,
+		AttainableFLOPS: attainable,
+		AttainedFLOPS:   attainable * 0.8,
+		LatencyNS:       int64(12 * time.Millisecond),
+	}
+}
+
+// seedStore writes a small history with a drifted (model, platform)
+// pair — resnet-50/a100 flips compute->memory between revisions — and
+// a stable pair, then closes the store so the CLI reopens it cold.
+func seedStore(t *testing.T, dir string) {
+	t.Helper()
+	st, err := histstore.Open(dir, histstore.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	metas := []histstore.Meta{
+		seedMeta("resnet-50", "a100", "rev1", "descA", "compute", base, 300e12),
+		seedMeta("resnet-50", "a100", "rev2", "descB", "memory", base.Add(time.Hour), 200e12),
+		seedMeta("bert-base", "h100", "rev1", "descC", "compute", base, 500e12),
+		seedMeta("bert-base", "h100", "rev2", "descC", "compute", base.Add(time.Hour), 500e12),
+	}
+	for i, m := range metas {
+		body := fmt.Sprintf(`{"model":%q,"platform":%q,"seq":%d}`, m.Model, m.Platform, i)
+		if err := st.Append(m, []byte(body)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestUsageAndBadInput(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code, _, errOut := runCLI(t, "frobnicate"); code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Fatalf("unknown command: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "help"); code != 0 {
+		t.Fatalf("help: exit %d, want 0", code)
+	}
+	if code, _, errOut := runCLI(t, "query"); code != 2 || !strings.Contains(errOut, "-dir is required") {
+		t.Fatalf("missing -dir: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "verify", "-dir", filepath.Join(t.TempDir(), "nope")); code != 2 {
+		t.Fatalf("nonexistent dir: exit %d, want 2", code)
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	code, out, errOut := runCLI(t, "query", "-dir", dir)
+	if code != 0 {
+		t.Fatalf("query: exit %d, stderr %s", code, errOut)
+	}
+	for _, want := range []string{"resnet-50", "bert-base", "4 of 4 record(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, _ = runCLI(t, "query", "-dir", dir, "-model", "resnet-50", "-git-rev", "rev2", "-json")
+	if code != 0 {
+		t.Fatalf("filtered query: exit %d", code)
+	}
+	var page struct {
+		Entries []struct {
+			ID string `json:"id"`
+			histstore.Meta
+		} `json:"entries"`
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(out), &page); err != nil {
+		t.Fatalf("query -json output not JSON: %v\n%s", err, out)
+	}
+	if page.Total != 1 || len(page.Entries) != 1 || page.Entries[0].GitRev != "rev2" {
+		t.Fatalf("filtered query wrong page: %+v", page)
+	}
+
+	// -show must print the stored report bytes verbatim.
+	code, out, errOut = runCLI(t, "query", "-dir", dir, "-show", page.Entries[0].ID)
+	if code != 0 {
+		t.Fatalf("show: exit %d, stderr %s", code, errOut)
+	}
+	var rec struct {
+		Model string `json:"model"`
+		Seq   int    `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(out), &rec); err != nil || rec.Model != "resnet-50" || rec.Seq != 1 {
+		t.Fatalf("show returned wrong record: %q (err %v)", out, err)
+	}
+
+	if code, _, _ := runCLI(t, "query", "-dir", dir, "-show", "99:99"); code != 2 {
+		t.Fatalf("show unknown id: exit %d, want 2", code)
+	}
+}
+
+func TestDriftCommandExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	// The seeded store holds a verdict flip, so drift must exit 1.
+	code, out, _ := runCLI(t, "drift", "-dir", dir)
+	if code != 1 {
+		t.Fatalf("drift over flipped store: exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"DRIFTED", "compute->memory", "resnet-50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("drift output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Restricted to the stable pair there is nothing to flag.
+	code, out, _ = runCLI(t, "drift", "-dir", dir, "-model", "bert-base")
+	if code != 0 {
+		t.Fatalf("drift over stable pair: exit %d, want 0\n%s", code, out)
+	}
+
+	code, out, _ = runCLI(t, "drift", "-dir", dir, "-json")
+	if code != 1 {
+		t.Fatalf("drift -json: exit %d, want 1", code)
+	}
+	var rep histstore.DriftReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("drift -json output not a DriftReport: %v", err)
+	}
+	if rep.DriftedKeys != 1 {
+		t.Fatalf("drift -json DriftedKeys = %d, want 1", rep.DriftedKeys)
+	}
+}
+
+func TestVerifyAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	if code, out, _ := runCLI(t, "verify", "-dir", dir); code != 0 || !strings.Contains(out, "store verified clean") {
+		t.Fatalf("verify clean store: exit %d\n%s", code, out)
+	}
+
+	// Flip a byte inside the last record's payload: the CRC no longer
+	// matches and verification must fail loudly.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	seg := segs[len(segs)-1]
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xFF
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the index too: reopening re-scans, skips the destroyed
+	// record, and leaves it on disk for verify to flag and compact to
+	// drop (an index entry pointing at a corrupt record would instead
+	// fail compact outright, by design).
+	if err := os.Remove(filepath.Join(dir, "index.bin")); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errOut := runCLI(t, "verify", "-dir", dir)
+	if code != 1 {
+		t.Fatalf("verify corrupted store: exit %d, want 1\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "verification FAILED") {
+		t.Fatalf("verify corrupted store stderr: %q", errOut)
+	}
+
+	// Compact rewrites only the live records; afterwards the store
+	// verifies clean again (minus the record that was destroyed).
+	if code, out, errOut := runCLI(t, "compact", "-dir", dir); code != 0 {
+		t.Fatalf("compact: exit %d\n%s%s", code, out, errOut)
+	} else if !strings.Contains(out, "compacted:") {
+		t.Fatalf("compact output: %q", out)
+	}
+	if code, out, _ := runCLI(t, "verify", "-dir", dir); code != 0 {
+		t.Fatalf("verify after compact: exit %d\n%s", code, out)
+	}
+}
+
+func TestStatsCommand(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	code, out, _ := runCLI(t, "stats", "-dir", dir)
+	if code != 0 {
+		t.Fatalf("stats: exit %d", code)
+	}
+	for _, want := range []string{"segments", "records", "last append"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, _ = runCLI(t, "stats", "-dir", dir, "-json")
+	if code != 0 {
+		t.Fatalf("stats -json: exit %d", code)
+	}
+	var st histstore.Stats
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("stats -json output not Stats: %v", err)
+	}
+	if st.Records != 4 || st.Segments == 0 {
+		t.Fatalf("stats -json wrong: %+v", st)
+	}
+}

@@ -1,0 +1,140 @@
+package histstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestBtreeLowerBoundMatchesLinear drives the B-tree descent against
+// sort.Search over the flat entry slice — the ground truth it must
+// reproduce — across sizes straddling every level-count transition.
+func TestBtreeLowerBoundMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 1023, 1024, 1025, 5000} {
+		entries := make([]*ixEntry, 0, n)
+		for i := 0; i < n; i++ {
+			entries = append(entries, &ixEntry{
+				meta: Meta{
+					Model:       fmt.Sprintf("model-%02d", rng.IntN(20)),
+					Platform:    fmt.Sprintf("plat-%d", rng.IntN(5)),
+					TimestampNS: int64(rng.IntN(1000)),
+				},
+				seq: uint64(i),
+			})
+		}
+		sort.Slice(entries, func(i, j int) bool { return compareKey(entries[i], entries[j]) < 0 })
+		tree := buildTree(entries)
+
+		probe := func(key *ixEntry) {
+			t.Helper()
+			want := sort.Search(len(entries), func(i int) bool {
+				return compareKey(entries[i], key) >= 0
+			})
+			if got := tree.lowerBound(key); got != want {
+				t.Fatalf("n=%d lowerBound(%+v) = %d, want %d", n, key.meta, got, want)
+			}
+		}
+		// Every existing key, plus synthetic probes around the space.
+		for _, e := range entries {
+			probe(e)
+		}
+		for i := 0; i < 200; i++ {
+			probe(&ixEntry{meta: Meta{
+				Model:       fmt.Sprintf("model-%02d", rng.IntN(22)-1),
+				Platform:    fmt.Sprintf("plat-%d", rng.IntN(7)-1),
+				TimestampNS: int64(rng.IntN(1200) - 100),
+			}})
+		}
+		probe(&ixEntry{})                            // before everything
+		probe(&ixEntry{meta: Meta{Model: "zzzzzz"}}) // after everything
+	}
+}
+
+func TestBtreeDepthGrows(t *testing.T) {
+	if d := buildTree(nil).depth(); d != 0 {
+		t.Errorf("empty tree depth = %d, want 0", d)
+	}
+	mk := func(n int) []*ixEntry {
+		es := make([]*ixEntry, n)
+		for i := range es {
+			es[i] = &ixEntry{meta: Meta{Model: fmt.Sprintf("m%06d", i)}, seq: uint64(i)}
+		}
+		return es
+	}
+	small := buildTree(mk(10)).depth()
+	big := buildTree(mk(5000)).depth()
+	if small < 2 || big <= small {
+		t.Errorf("depth(10) = %d, depth(5000) = %d; want depth to grow with size", small, big)
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	var entries []*ixEntry
+	for _, m := range []string{"alex", "alexa", "bert"} {
+		for _, p := range []string{"a100", "h100"} {
+			for ts := 0; ts < 3; ts++ {
+				entries = append(entries, &ixEntry{
+					meta: Meta{Model: m, Platform: p, TimestampNS: int64(ts)},
+					seq:  uint64(len(entries)),
+				})
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return compareKey(entries[i], entries[j]) < 0 })
+	tree := buildTree(entries)
+
+	check := func(model, platform string, want int) {
+		t.Helper()
+		start, end := tree.prefixRange(model, platform)
+		got := 0
+		for i := start; i < end; i++ {
+			e := tree.entries[i]
+			if e.meta.Model != model || (platform != "" && e.meta.Platform != platform) {
+				t.Fatalf("prefixRange(%q, %q) included %+v", model, platform, e.meta)
+			}
+			got++
+		}
+		if got != want {
+			t.Fatalf("prefixRange(%q, %q) = %d entries, want %d", model, platform, got, want)
+		}
+	}
+	// "alex" must not absorb "alexa" — exact-key semantics.
+	check("alex", "", 6)
+	check("alexa", "", 6)
+	check("bert", "a100", 3)
+	check("nope", "", 0)
+	if start, end := tree.prefixRange("", ""); start != 0 || end != len(entries) {
+		t.Errorf("empty-model range = [%d, %d), want the whole index", start, end)
+	}
+}
+
+func TestIndexFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	var entries []*ixEntry
+	for i := 0; i < 100; i++ {
+		m := testMeta(fmt.Sprintf("m%d", i%7), "p", "r", i)
+		raw, _ := json.Marshal(m)
+		entries = append(entries, &ixEntry{meta: m, metaRaw: raw, seq: uint64(i + 1), seg: uint32(i % 3), off: int64(i * 100), plen: uint32(50 + i)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return compareKey(entries[i], entries[j]) < 0 })
+	covered := map[uint32]int64{0: 111, 1: 222, 2: 333}
+	if err := writeIndexFile(dir, 101, covered, entries); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := readIndexFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.nextSeq != 101 || len(ix.entries) != len(entries) || len(ix.covered) != 3 {
+		t.Fatalf("roundtrip: nextSeq=%d entries=%d covered=%d", ix.nextSeq, len(ix.entries), len(ix.covered))
+	}
+	for i, e := range ix.entries {
+		o := entries[i]
+		if e.meta != o.meta || e.seq != o.seq || e.seg != o.seg || e.off != o.off || e.plen != o.plen {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, e, o)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package histstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fillStore writes n records and closes the store, returning the
+// segment file paths in id order.
+func fillStore(t *testing.T, dir string, n int, opts Options) []string {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Append(testMeta("m", "p", "r", i), testReport("m", "p", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(ids))
+	for i, id := range ids {
+		paths[i] = filepath.Join(dir, segmentName(id))
+	}
+	return paths
+}
+
+func removeIndex(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.Remove(filepath.Join(dir, idxName)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryTornTail simulates a crash mid-append: the final segment
+// ends in half a record. Reopen must truncate the torn bytes and keep
+// every complete record.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	paths := fillStore(t, dir, 10, Options{})
+	last := paths[len(paths)-1]
+
+	// Append a torn record: a header promising more payload than exists.
+	full := encodeRecord([]byte(`{"model":"m","platform":"p"}`), []byte(`{"torn":true}`))
+	torn := full[:len(full)-5]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore, _ := os.Stat(last)
+
+	s := mustOpen(t, dir, Options{})
+	st := s.Stats()
+	if st.Records != 10 {
+		t.Fatalf("Records after torn-tail recovery = %d, want 10", st.Records)
+	}
+	if st.TruncatedBytes != int64(len(torn)) {
+		t.Fatalf("TruncatedBytes = %d, want %d", st.TruncatedBytes, len(torn))
+	}
+	sizeAfter, _ := os.Stat(last)
+	if sizeAfter.Size() != sizeBefore.Size()-int64(len(torn)) {
+		t.Fatalf("segment not truncated: %d -> %d", sizeBefore.Size(), sizeAfter.Size())
+	}
+	// All ten records still read back clean.
+	entries, _, _ := s.Query(Query{Model: "m"})
+	for _, e := range entries {
+		if _, err := s.Get(e); err != nil {
+			t.Fatalf("Get(%s) after recovery: %v", e.ID, err)
+		}
+	}
+	// The store is appendable again and a later reopen sees the append.
+	if err := s.Append(testMeta("m", "p", "r", 50), testReport("m", "p", 50)); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	if got := s2.Stats().Records; got != 11 {
+		t.Fatalf("post-recovery reopen Records = %d, want 11", got)
+	}
+}
+
+// TestRecoveryCorruptRecord flips payload bytes inside a middle record
+// and forces a full rescan (index removed): recovery must skip exactly
+// that record — detected by CRC — and keep both its neighbors.
+func TestRecoveryCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	paths := fillStore(t, dir, 3, Options{})
+	if len(paths) != 1 {
+		t.Fatalf("expected one segment, got %d", len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the second record: magic, then record 0's frame.
+	pos := int64(len(segMagic))
+	rec0, err := decodeRecord(data[pos:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := pos + rec0.size
+	// Corrupt payload bytes of record 1 (past its 8-byte header).
+	for i := second + recordHeaderSize + 4; i < second+recordHeaderSize+8; i++ {
+		data[i] ^= 0xFF
+	}
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removeIndex(t, dir)
+
+	s := mustOpen(t, dir, Options{})
+	st := s.Stats()
+	if st.Records != 2 {
+		t.Fatalf("Records = %d, want 2 (corrupt one skipped)", st.Records)
+	}
+	if st.SkippedRecords != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", st.SkippedRecords)
+	}
+	entries, _, _ := s.Query(Query{Model: "m"})
+	bodies := map[string]bool{}
+	for _, e := range entries {
+		body, err := s.Get(e)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", e.ID, err)
+		}
+		bodies[string(body)] = true
+	}
+	if !bodies[string(testReport("m", "p", 0))] || !bodies[string(testReport("m", "p", 2))] {
+		t.Fatalf("recovery lost a neighbor of the corrupt record: %v", bodies)
+	}
+	// Verify refuses the store: the corruption is still on disk.
+	rep, err := s.Verify()
+	if err == nil || rep.Ok() {
+		t.Fatalf("Verify of corrupt store = %+v (err %v), want failure", rep, err)
+	}
+	if rep.CorruptRecords != 1 {
+		t.Errorf("Verify CorruptRecords = %d, want 1", rep.CorruptRecords)
+	}
+	// Compact drops the corruption; Verify then passes.
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if rep, err := s.Verify(); err != nil || !rep.Ok() {
+		t.Fatalf("post-compact Verify = %+v (err %v), want clean", rep, err)
+	}
+}
+
+// TestRecoveryCorruptIndex: a flipped byte in index.bin must not lose
+// data — Open falls back to a full segment scan.
+func TestRecoveryCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	fillStore(t, dir, 8, Options{})
+	idx := filepath.Join(dir, idxName)
+	data, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(idx, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	if st := s.Stats(); st.Records != 8 {
+		t.Fatalf("Records after corrupt-index fallback = %d, want 8", st.Records)
+	}
+	if st := s.Stats(); st.ReadBytes == 0 {
+		t.Fatalf("corrupt-index fallback should have scanned segments, ReadBytes = 0")
+	}
+}
+
+// TestRecoveryMidFileGarbage: an unparsable region in a NON-final
+// segment must not be truncated (only the final segment can hold a
+// torn append) — it is reported as dead bytes and later records in
+// other segments survive.
+func TestRecoveryMidSegmentDeadBytes(t *testing.T) {
+	dir := t.TempDir()
+	paths := fillStore(t, dir, 30, Options{SegmentBytes: 512})
+	if len(paths) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(paths))
+	}
+	mid := paths[len(paths)/2]
+	// Overwrite a record header mid-segment with an implausible length.
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := int64(len(segMagic))
+	rec, err := decodeRecord(data[pos:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := pos + rec.size
+	copy(data[tail:], bytes.Repeat([]byte{0xFF}, 8))
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removeIndex(t, dir)
+	sizeBefore, _ := os.Stat(mid)
+
+	s := mustOpen(t, dir, Options{SegmentBytes: 512})
+	sizeAfter, _ := os.Stat(mid)
+	if sizeAfter.Size() != sizeBefore.Size() {
+		t.Fatalf("non-final segment was truncated: %d -> %d", sizeBefore.Size(), sizeAfter.Size())
+	}
+	st := s.Stats()
+	if st.TruncatedBytes == 0 {
+		t.Fatal("dead bytes not accounted")
+	}
+	// Records from segments after the damaged one survived.
+	if st.Records <= 1 {
+		t.Fatalf("Records = %d; damage to one segment lost the rest of the store", st.Records)
+	}
+}

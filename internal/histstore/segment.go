@@ -1,0 +1,110 @@
+package histstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk formats. Everything is little-endian and length-framed; the
+// CRC lets a scan distinguish a torn tail from a corrupted record.
+//
+// Segment file (seg-XXXXXXXX.seg):
+//
+//	[8]  segMagic
+//	then records back to back:
+//	  [4] payload length N
+//	  [4] CRC-32 (IEEE) of the payload
+//	  [N] payload:
+//	        [4] meta length M
+//	        [M] meta JSON (histstore.Meta)
+//	        [*] report JSON (exactly the bytes Append was given)
+//
+// The CRC covers the whole payload (meta framing included) but not the
+// length word: a record whose payload is corrupted is skippable — the
+// scan trusts a plausible length and resynchronizes at the next record
+// — while a corrupted length word ends the parsable region (a torn
+// tail when it is the last segment).
+const (
+	segMagic = "PRFSEG01"
+
+	recordHeaderSize = 8
+	metaFrameSize    = 4
+
+	// maxRecordBytes bounds one record's payload — a plausibility gate
+	// for length words read from a possibly corrupt file, far above any
+	// real report (the largest zoo report is well under 1 MiB).
+	maxRecordBytes = 64 << 20
+)
+
+// errTorn reports an incomplete record at the end of a scan region —
+// the signature of a crash mid-append.
+var errTorn = errors.New("histstore: torn record")
+
+// errCorrupt reports a CRC mismatch on a structurally complete record.
+var errCorrupt = errors.New("histstore: corrupt record")
+
+// encodeRecord frames one (meta, report) pair into a complete record
+// (header + payload).
+func encodeRecord(metaRaw, report []byte) []byte {
+	payloadLen := metaFrameSize + len(metaRaw) + len(report)
+	buf := make([]byte, recordHeaderSize+payloadLen)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
+	payload := buf[recordHeaderSize:]
+	binary.LittleEndian.PutUint32(payload[0:metaFrameSize], uint32(len(metaRaw)))
+	copy(payload[metaFrameSize:], metaRaw)
+	copy(payload[metaFrameSize+len(metaRaw):], report)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// decodedRecord is one parsed record: the exact meta and report byte
+// ranges of the payload.
+type decodedRecord struct {
+	metaRaw []byte
+	report  []byte
+	// size is the full on-disk record size (header + payload).
+	size int64
+}
+
+// decodeRecord parses the record starting at the beginning of buf.
+// It returns:
+//
+//   - (rec, nil): a complete, CRC-clean record
+//   - (rec, errCorrupt): the payload failed its CRC but the length was
+//     plausible — rec.size tells the caller how far to skip
+//   - (zero, errTorn): buf ends before the record does, or the length
+//     word itself is implausible; nothing after it can be parsed
+func decodeRecord(buf []byte) (decodedRecord, error) {
+	if len(buf) < recordHeaderSize {
+		return decodedRecord{}, errTorn
+	}
+	payloadLen := int64(binary.LittleEndian.Uint32(buf[0:4]))
+	if payloadLen < metaFrameSize || payloadLen > maxRecordBytes {
+		return decodedRecord{}, errTorn
+	}
+	if int64(len(buf)) < recordHeaderSize+payloadLen {
+		return decodedRecord{}, errTorn
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[4:8])
+	payload := buf[recordHeaderSize : recordHeaderSize+payloadLen]
+	rec := decodedRecord{size: recordHeaderSize + payloadLen}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return rec, errCorrupt
+	}
+	metaLen := int64(binary.LittleEndian.Uint32(payload[0:metaFrameSize]))
+	if metaLen < 0 || metaFrameSize+metaLen > payloadLen {
+		// The CRC matched, so this is not random corruption but a
+		// framing bug; refuse the record rather than mis-slice it.
+		return rec, fmt.Errorf("histstore: record meta length %d exceeds payload %d", metaLen, payloadLen)
+	}
+	rec.metaRaw = payload[metaFrameSize : metaFrameSize+metaLen]
+	rec.report = payload[metaFrameSize+metaLen:]
+	return rec, nil
+}
+
+// segmentName renders the file name of segment id.
+func segmentName(id uint32) string {
+	return fmt.Sprintf("seg-%08d.seg", id)
+}

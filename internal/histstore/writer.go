@@ -1,0 +1,126 @@
+package histstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Writer decouples the serving path from store appends: Enqueue never
+// blocks — a full queue drops the record and counts it — so a slow or
+// wedged disk degrades history completeness, not profile latency. One
+// goroutine drains the queue in order.
+type Writer struct {
+	store *Store
+	ch    chan writeReq
+	wg    sync.WaitGroup
+
+	// sendMu guards sends against Close closing the channel: senders
+	// hold it shared, Close holds it exclusively while marking closed.
+	sendMu sync.RWMutex
+	closed bool
+
+	dropped atomic.Int64
+	errs    atomic.Int64
+
+	// OnError, if set before the first Enqueue, observes append
+	// failures (for logging); it runs on the writer goroutine.
+	OnError func(error)
+}
+
+type writeReq struct {
+	meta   Meta
+	report []byte
+	done   chan struct{} // non-nil only for flush barriers
+}
+
+// NewWriter starts a writer over store with the given queue capacity
+// (0 = 256).
+func NewWriter(store *Store, queue int) *Writer {
+	if queue <= 0 {
+		queue = 256
+	}
+	w := &Writer{store: store, ch: make(chan writeReq, queue)}
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+func (w *Writer) run() {
+	defer w.wg.Done()
+	for req := range w.ch {
+		if req.done != nil {
+			close(req.done)
+			continue
+		}
+		if err := w.store.Append(req.meta, req.report); err != nil {
+			w.errs.Add(1)
+			if w.OnError != nil {
+				w.OnError(err)
+			}
+		}
+	}
+}
+
+// Enqueue hands one record to the writer. It returns false — and
+// counts a drop — when the queue is full or the writer is closed; it
+// never blocks.
+func (w *Writer) Enqueue(meta Meta, report []byte) bool {
+	w.sendMu.RLock()
+	defer w.sendMu.RUnlock()
+	if w.closed {
+		w.dropped.Add(1)
+		return false
+	}
+	// The shared lock only fences Close's close(w.ch); the drain
+	// goroutine never takes sendMu, and the send has a default arm, so
+	// this cannot block the lock.
+	//lint:ignore lockedcall non-blocking send; RLock fences channel close, not the drain
+	select {
+	case w.ch <- writeReq{meta: meta, report: report}:
+		return true
+	default:
+		w.dropped.Add(1)
+		return false
+	}
+}
+
+// Flush blocks until every record enqueued before the call has been
+// appended (or failed). Used by tests and shutdown.
+func (w *Writer) Flush() {
+	w.sendMu.RLock()
+	if w.closed {
+		w.sendMu.RUnlock()
+		return
+	}
+	done := make(chan struct{})
+	// Blocking send: a flush barrier must get in even behind a full
+	// queue of real work. Safe under the shared lock — the drain
+	// goroutine consumes without taking sendMu, so the queue always
+	// empties out from under us.
+	//lint:ignore lockedcall RLock fences channel close; the drain side never locks
+	w.ch <- writeReq{done: done}
+	w.sendMu.RUnlock()
+	<-done
+}
+
+// Dropped returns how many records were rejected by a full queue or a
+// closed writer.
+func (w *Writer) Dropped() int64 { return w.dropped.Load() }
+
+// Errors returns how many appends failed on the writer goroutine.
+func (w *Writer) Errors() int64 { return w.errs.Load() }
+
+// Close drains the queue, stops the goroutine, and flushes the store
+// index. The underlying store stays open (it may be shared).
+func (w *Writer) Close() error {
+	w.sendMu.Lock()
+	if w.closed {
+		w.sendMu.Unlock()
+		return nil
+	}
+	w.closed = true
+	close(w.ch)
+	w.sendMu.Unlock()
+	w.wg.Wait()
+	return w.store.FlushIndex()
+}

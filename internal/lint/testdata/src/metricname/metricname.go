@@ -24,6 +24,14 @@ func wire(ctx context.Context, reg *obs.Registry, prefix string) {
 	sp2.End()
 	//lint:ignore metricname grandfathered name predates the convention
 	reg.Counter("legacy-total", "suppressed")
+
+	// History-store and drift families added with the persistent
+	// profile history: the proofd_store_* / proofd_roofline_* shapes
+	// must pass, and a mixed-case store name must be flagged.
+	reg.Counter("proofd_store_appends_total", "ok")
+	reg.Gauge("proofd_store_last_append_age_seconds", "ok")
+	reg.GaugeVec("proofd_roofline_drift", "vec names are checked like any other", "model", "platform")
+	reg.Gauge("proofd_store_Bytes", "flagged: mixed case")
 }
 
 func dynamicName() string { return "proofd_dynamic_total" }

@@ -86,6 +86,43 @@ func (d *Digest) Observe(v time.Duration) {
 	d.mu.Unlock()
 }
 
+// Merge folds every observation recorded in other into d, leaving
+// other unchanged. Because both digests share one fixed bucket layout,
+// merging is exact: the merged digest is bucket-for-bucket identical to
+// one that observed the union of both sample streams, so quantile
+// error does not compound across merges. Drift comparisons merge
+// per-key digests into store-wide aggregates, and multi-run workload
+// reports can combine per-run digests the same way. Merging a digest
+// into itself is a no-op; a nil or empty other is too.
+func (d *Digest) Merge(other *Digest) {
+	if other == nil || other == d {
+		return
+	}
+	// Snapshot other outside d's lock so two goroutines merging the
+	// pair in opposite directions cannot deadlock.
+	other.mu.Lock()
+	counts := make([]int64, len(other.counts))
+	copy(counts, other.counts)
+	count, sum, min, max := other.count, other.sum, other.min, other.max
+	other.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	d.mu.Lock()
+	for i, c := range counts {
+		d.counts[i] += c
+	}
+	if d.count == 0 || min < d.min {
+		d.min = min
+	}
+	if max > d.max {
+		d.max = max
+	}
+	d.count += count
+	d.sum += sum
+	d.mu.Unlock()
+}
+
 // Count returns the number of observations.
 func (d *Digest) Count() int64 {
 	d.mu.Lock()

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -98,6 +99,91 @@ func TestDigestExtremesClampToBuckets(t *testing.T) {
 	}
 	if d.Max() != 1000*time.Hour {
 		t.Errorf("max = %s, want the true (unclamped) 1000h", d.Max())
+	}
+}
+
+// TestDigestMergeMatchesUnion is the Merge contract: because both
+// digests share one fixed bucket layout, a merged digest must be
+// indistinguishable — every quantile, count, mean, min and max — from
+// a single digest that observed the union of both sample streams.
+func TestDigestMergeMatchesUnion(t *testing.T) {
+	a, b, union := NewDigest(), NewDigest(), NewDigest()
+	rng := rand.New(rand.NewPCG(7, 9))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		// Two deliberately different distributions: a is fast cache
+		// hits, b is a slow tail.
+		va := 50*time.Microsecond + time.Duration(rng.Int64N(int64(time.Millisecond)))
+		vb := 10*time.Millisecond + time.Duration(rng.Int64N(int64(400*time.Millisecond)))
+		a.Observe(va)
+		b.Observe(vb)
+		union.Observe(va)
+		union.Observe(vb)
+	}
+	a.Merge(b)
+	if a.Count() != union.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), union.Count())
+	}
+	if a.Mean() != union.Mean() {
+		t.Errorf("merged mean = %s, want %s", a.Mean(), union.Mean())
+	}
+	if a.Max() != union.Max() {
+		t.Errorf("merged max = %s, want %s", a.Max(), union.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := a.Quantile(q), union.Quantile(q); got != want {
+			t.Errorf("merged Quantile(%v) = %s, want %s (merge must be exact)", q, got, want)
+		}
+	}
+}
+
+// TestDigestMergeQuantileAccuracy checks that merging keeps the
+// absolute accuracy promise: quantiles of a merged digest stay within
+// the log-linear error bound of the exact quantiles of the combined
+// sample set (error must not compound across merges).
+func TestDigestMergeQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	const parts, per = 8, 5000
+	merged := NewDigest()
+	var all []time.Duration
+	for p := 0; p < parts; p++ {
+		d := NewDigest()
+		for i := 0; i < per; i++ {
+			v := time.Millisecond + time.Duration(rng.Int64N(int64(99*time.Millisecond)))
+			d.Observe(v)
+			all = append(all, v)
+		}
+		merged.Merge(d)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := all[int(q*float64(len(all)-1))]
+		got := merged.Quantile(q)
+		lo := exact - exact/8
+		hi := exact + exact/8
+		if got < lo || got > hi {
+			t.Errorf("merged Quantile(%v) = %s, want %s +- 12.5%%", q, got, exact)
+		}
+	}
+}
+
+func TestDigestMergeEdgeCases(t *testing.T) {
+	d := NewDigest()
+	d.Observe(time.Millisecond)
+	d.Merge(nil)
+	d.Merge(NewDigest()) // empty other: no-op
+	if d.Count() != 1 {
+		t.Fatalf("count after nil/empty merges = %d, want 1", d.Count())
+	}
+	d.Merge(d) // self-merge must not double-count or deadlock
+	if d.Count() != 1 {
+		t.Fatalf("count after self-merge = %d, want 1", d.Count())
+	}
+	// Merging into an empty digest adopts the other's min exactly.
+	e := NewDigest()
+	e.Merge(d)
+	if e.Quantile(0) != time.Millisecond || e.Quantile(1) != time.Millisecond {
+		t.Errorf("empty-target merge extremes = [%s, %s], want exactly 1ms", e.Quantile(0), e.Quantile(1))
 	}
 }
 

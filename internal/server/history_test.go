@@ -1,0 +1,447 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"proof/internal/core"
+	"proof/internal/histstore"
+	"proof/internal/profsession"
+)
+
+// openTestStore opens a history store in a temp dir, closed with the
+// test.
+func openTestStore(t *testing.T) *histstore.Store {
+	t.Helper()
+	st, err := histstore.Open(t.TempDir(), histstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// seedHistory appends one crafted record directly to the store.
+func seedHistory(t *testing.T, st *histstore.Store, m histstore.Meta, body string) {
+	t.Helper()
+	if err := st.Append(m, []byte(body)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// driftSeedMeta builds a history meta for endpoint drift tests.
+func driftSeedMeta(model, platform, rev, desc, bound string, i int) histstore.Meta {
+	return histstore.Meta{
+		Model:           model,
+		Platform:        platform,
+		GitRev:          rev,
+		DescriptorHash:  desc,
+		Bound:           bound,
+		AttainableFLOPS: 1e14,
+		AttainedFLOPS:   7e13,
+		LatencyNS:       int64(3 * time.Millisecond),
+		TimestampNS:     time.Now().Add(time.Duration(i-100) * time.Minute).UnixNano(),
+	}
+}
+
+// TestHistoryDifferentialByteIdentity is the issue's differential
+// criterion: a report read back from the store must be byte-identical
+// to the JSON proofd served for the original request — both straight
+// off the store API and through GET /v1/history?id=.
+func TestHistoryDifferentialByteIdentity(t *testing.T) {
+	st := openTestStore(t)
+	srv, ts := newTestServer(t, Config{History: st, GitRev: "abc123"})
+
+	resp := postJSON(t, ts.URL+"/v1/profile",
+		`{"model":"mobilenetv2-0.5","platform":"a100","batch":8,"seed":3}`)
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("profile status = %d (body %s)", resp.StatusCode, served)
+	}
+	srv.FlushHistory()
+
+	entries, total, err := st.Query(histstore.Query{Model: "mobilenetv2-0.5"})
+	if err != nil || total != 1 {
+		t.Fatalf("store Query total = %d (err %v), want 1", total, err)
+	}
+	e := entries[0]
+	if e.Meta.GitRev != "abc123" || e.Meta.Platform != "a100" || e.Meta.Batch != 8 {
+		t.Errorf("stored meta = %+v, want git_rev/platform/batch stamped", e.Meta)
+	}
+	if e.Meta.Bound == "" || e.Meta.DescriptorHash == "" || e.Meta.LatencyNS <= 0 {
+		t.Errorf("stored meta missing roofline fields: %+v", e.Meta)
+	}
+
+	stored, err := st.Get(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The response is the stored bytes plus the trailing newline every
+	// proofd JSON response carries.
+	if want := string(stored) + "\n"; string(served) != want {
+		t.Fatalf("stored report differs from served response\nserved: %.200s\nstored: %.200s", served, stored)
+	}
+
+	// The same bytes round-trip over the API.
+	rr, err := http.Get(ts.URL + "/v1/history?id=" + e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaAPI, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != 200 || string(viaAPI) != string(served) {
+		t.Fatalf("GET /v1/history?id= status %d, body differs from original response", rr.StatusCode)
+	}
+
+	// And the stored report still parses as the report proofd computed.
+	var rep core.Report
+	if err := json.Unmarshal(stored, &rep); err != nil {
+		t.Fatalf("stored report does not parse: %v", err)
+	}
+	if rep.Model != "mobilenetv2-0.5" || rep.Platform != "a100" {
+		t.Errorf("stored report identity = %s/%s", rep.Model, rep.Platform)
+	}
+}
+
+// TestHistoryOnlyMissesPersisted: cache hits replay stored work and
+// must not duplicate history records.
+func TestHistoryOnlyMissesPersisted(t *testing.T) {
+	st := openTestStore(t)
+	srv, ts := newTestServer(t, Config{History: st})
+	body := `{"model":"mobilenetv2-0.5","platform":"a100","batch":4}`
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/profile", body)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d status = %d", i, resp.StatusCode)
+		}
+	}
+	srv.FlushHistory()
+	if _, total, _ := st.Query(histstore.Query{}); total != 1 {
+		t.Fatalf("3 requests (1 miss + 2 hits) stored %d records, want 1", total)
+	}
+}
+
+func TestHistoryQueryEndpoint(t *testing.T) {
+	st := openTestStore(t)
+	for i := 0; i < 12; i++ {
+		model := "resnet-50"
+		if i%3 == 0 {
+			model = "bert-base"
+		}
+		seedHistory(t, st, driftSeedMeta(model, "a100", "rev1", "d1", "compute", i),
+			fmt.Sprintf(`{"model":%q,"n":%d}`, model, i))
+	}
+	_, ts := newTestServer(t, Config{History: st})
+
+	get := func(path string) (int, HistoryResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hr HistoryResponse
+		if resp.StatusCode == 200 {
+			if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, hr
+	}
+
+	if code, hr := get("/v1/history"); code != 200 || hr.Total != 12 || len(hr.Entries) != 12 {
+		t.Fatalf("unfiltered = %d entries / total %d (status %d), want 12/12", len(hr.Entries), hr.Total, code)
+	}
+	if _, hr := get("/v1/history?model=resnet-50"); hr.Total != 8 {
+		t.Fatalf("model filter total = %d, want 8", hr.Total)
+	}
+	if _, hr := get("/v1/history?model=resnet-50&limit=3&offset=6"); len(hr.Entries) != 2 || hr.Total != 8 {
+		t.Fatalf("page = %d entries / total %d, want 2/8", len(hr.Entries), hr.Total)
+	}
+	// Newest first within a page.
+	_, hr := get("/v1/history?model=resnet-50&limit=5")
+	for i := 1; i < len(hr.Entries); i++ {
+		if hr.Entries[i].TimestampNS > hr.Entries[i-1].TimestampNS {
+			t.Fatal("history page not newest-first")
+		}
+	}
+	since := time.Now().Add(-95 * time.Minute).Format(time.RFC3339)
+	if _, hr := get("/v1/history?since=" + since); hr.Total >= 12 || hr.Total == 0 {
+		t.Fatalf("since filter total = %d, want a proper subset", hr.Total)
+	}
+
+	for _, bad := range []string{
+		"/v1/history?since=yesterday",
+		"/v1/history?limit=-1",
+		"/v1/history?offset=x",
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env := decodeEnvelope(t, resp); resp.StatusCode != 400 || env.Error.Code != "bad_request" {
+			t.Errorf("%s = %d %s, want 400 bad_request", bad, resp.StatusCode, env.Error.Code)
+		}
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/history?id=99:99"); resp.StatusCode != 404 {
+		t.Errorf("unknown id status = %d, want 404", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestDriftEndpointVerdictFlip is the issue's drift scenario end to
+// end: two descriptor revisions of one platform whose verdict flips
+// must be flagged by GET /v1/drift and surface as
+// proofd_roofline_drift 1, while an unchanged pair reports no drift
+// and gauges 0.
+func TestDriftEndpointVerdictFlip(t *testing.T) {
+	st := openTestStore(t)
+	// resnet-50/a100: descriptor revision A compute-bound, B memory-bound.
+	for i := 0; i < 4; i++ {
+		seedHistory(t, st, driftSeedMeta("resnet-50", "a100", "rev1", "descA", "compute", i), `{"r":1}`)
+	}
+	for i := 10; i < 14; i++ {
+		seedHistory(t, st, driftSeedMeta("resnet-50", "a100", "rev1", "descB", "memory", i), `{"r":2}`)
+	}
+	// bert-base/h100: two git revisions, verdict unchanged.
+	for i := 0; i < 4; i++ {
+		seedHistory(t, st, driftSeedMeta("bert-base", "h100", "rev1", "descC", "compute", i), `{"r":3}`)
+	}
+	for i := 10; i < 14; i++ {
+		seedHistory(t, st, driftSeedMeta("bert-base", "h100", "rev2", "descC", "compute", i), `{"r":4}`)
+	}
+	_, ts := newTestServer(t, Config{History: st})
+
+	resp, err := http.Get(ts.URL + "/v1/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("drift status = %d", resp.StatusCode)
+	}
+	var rep histstore.DriftReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DriftedKeys != 1 || len(rep.Keys) != 2 {
+		t.Fatalf("drift report = %d drifted of %d keys, want 1 of 2", rep.DriftedKeys, len(rep.Keys))
+	}
+	for _, k := range rep.Keys {
+		switch k.Model {
+		case "resnet-50":
+			if !k.Drifted || !k.VerdictFlipped {
+				t.Errorf("resnet-50 = %+v, want verdict-flip drift", k)
+			}
+		case "bert-base":
+			if k.Drifted || k.SingleRevision {
+				t.Errorf("bert-base = %+v, want comparable and stable", k)
+			}
+		}
+	}
+
+	// The gauge mirrors the evaluation on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	page := string(metrics)
+	wantDrifted := `proofd_roofline_drift{model="resnet-50",platform="a100"} 1`
+	wantStable := `proofd_roofline_drift{model="bert-base",platform="h100"} 0`
+	if !strings.Contains(page, wantDrifted) || !strings.Contains(page, wantStable) {
+		t.Errorf("metrics page missing drift gauges:\nwant %s\nand  %s", wantDrifted, wantStable)
+	}
+
+	// Threshold validation.
+	for _, bad := range []string{"0", "1.5", "x", "-0.1"} {
+		r, err := http.Get(ts.URL + "/v1/drift?threshold=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env := decodeEnvelope(t, r); r.StatusCode != 400 || env.Error.Code != "bad_request" {
+			t.Errorf("threshold=%s = %d %s, want 400 bad_request", bad, r.StatusCode, env.Error.Code)
+		}
+	}
+}
+
+// TestHistoryDisabled: without a store the endpoints answer a clear
+// 503 (and still echo the request ID).
+func TestHistoryDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/history", "/v1/drift"} {
+		req, _ := http.NewRequest("GET", ts.URL+path, nil)
+		req.Header.Set("X-Request-ID", "client-id-7")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("X-Request-ID"); got != "client-id-7" {
+			t.Errorf("%s X-Request-ID = %q, want the client's echoed", path, got)
+		}
+		if env := decodeEnvelope(t, resp); resp.StatusCode != 503 || env.Error.Code != "history_disabled" {
+			t.Errorf("%s = %d %s, want 503 history_disabled", path, resp.StatusCode, env.Error.Code)
+		}
+	}
+}
+
+// TestHealthzStoreStatus: the health body reports the store's state.
+func TestHealthzStoreStatus(t *testing.T) {
+	t.Run("disabled", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{})
+		var hr HealthzResponse
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		if hr.Status != "ok" || hr.Store.Enabled {
+			t.Errorf("healthz = %+v, want ok with store disabled", hr)
+		}
+	})
+	t.Run("enabled", func(t *testing.T) {
+		st := openTestStore(t)
+		srv, ts := newTestServer(t, Config{History: st})
+		resp := postJSON(t, ts.URL+"/v1/profile",
+			`{"model":"mobilenetv2-0.5","platform":"a100","batch":2}`)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		srv.FlushHistory()
+
+		var hr HealthzResponse
+		hresp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hresp.Body.Close()
+		if err := json.NewDecoder(hresp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		if !hr.Store.Enabled || hr.Store.Records != 1 || hr.Store.Segments < 1 {
+			t.Errorf("healthz store = %+v, want enabled with 1 record", hr.Store)
+		}
+		if hr.Store.LastAppendAgeSeconds < 0 || hr.Store.LastAppendAgeSeconds > 60 {
+			t.Errorf("last_append_age_seconds = %v, want a small recent age", hr.Store.LastAppendAgeSeconds)
+		}
+	})
+}
+
+// TestBuildInfoMetric: the constant build-identity gauge is always on
+// the metrics page, labeled with the Go version and the configured rev.
+func TestBuildInfoMetric(t *testing.T) {
+	_, ts := newTestServer(t, Config{GitRev: "deadbeef"})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), `proofd_build_info{`) ||
+		!strings.Contains(string(page), `git_rev="deadbeef"`) ||
+		!strings.Contains(string(page), `go_version="go`) {
+		t.Errorf("metrics page missing proofd_build_info with go_version/git_rev labels")
+	}
+}
+
+// TestRequestIDEchoedEverywhere locks the header contract on the error
+// paths the middleware table cannot reach: a client-supplied ID must
+// come back on 200, 400, 404, 413, 429 and 503 alike.
+func TestRequestIDEchoedEverywhere(t *testing.T) {
+	release := make(chan struct{})
+	sess := profsession.NewWithProfiler(0, func(ctx context.Context, opts core.Options) (*core.Report, error) {
+		select {
+		case <-release:
+			return stubReport(opts), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	srv, ts := newTestServer(t, Config{
+		Session:      sess,
+		MaxInflight:  1,
+		MaxQueue:     1,
+		QueueWait:    30 * time.Second,
+		MaxBodyBytes: 512,
+	})
+	do := func(method, path, body, id string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Request-ID", id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	// Saturate the single slot and the one queue seat with distinct
+	// slow profiles so the next one is shed with 429.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			do("POST", "/v1/profile", fmt.Sprintf(`{"model":"resnet-50","platform":"a100","seed":%d}`, i), "occupy")
+		}(i)
+	}
+	// Probe only once the slot and queue seat are provably taken —
+	// probing earlier would put the probe itself in the queue for the
+	// full QueueWait.
+	waitFor(t, "admission saturated", func() bool {
+		return srv.adm.inflight.Load() == 1 && srv.adm.queued.Load() == 1
+	})
+	r := do("POST", "/v1/profile", `{"model":"resnet-50","platform":"a100","seed":99}`, "rid-429")
+	if r.StatusCode != 429 {
+		t.Fatalf("saturated profile status = %d, want 429", r.StatusCode)
+	}
+	if got := r.Header.Get("X-Request-ID"); got != "rid-429" {
+		t.Errorf("429 X-Request-ID = %q, want %q echoed", got, "rid-429")
+	}
+	close(release)
+	wg.Wait()
+
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"healthz 200", "GET", "/healthz", "", 200},
+		{"bad json 400", "POST", "/v1/profile", `{`, 400},
+		{"unknown model 404", "POST", "/v1/profile", `{"model":"nope","platform":"a100"}`, 404},
+		{"unknown path 404", "GET", "/v1/zzz", "", 404},
+		{"oversized body 413", "POST", "/v1/profile", `{"model":"` + strings.Repeat("x", 600) + `"}`, 413},
+		{"history disabled 503", "GET", "/v1/history", "", 503},
+		{"wrong method 405", "GET", "/v1/profile", "", 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			id := "rid-" + tc.name
+			resp := do(tc.method, tc.path, tc.body, id)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if got := resp.Header.Get("X-Request-ID"); got != id {
+				t.Errorf("X-Request-ID = %q, want %q echoed", got, id)
+			}
+		})
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"proof/internal/faults"
 	"proof/internal/graph"
 	"proof/internal/hardware"
+	"proof/internal/histstore"
 	"proof/internal/models"
 	"proof/internal/obs"
 	"proof/internal/profsession"
@@ -78,6 +79,19 @@ type Config struct {
 	// TraceRingSize bounds the recent request traces retained for
 	// GET /debug/traces (0 = 16).
 	TraceRingSize int
+	// History, when set, persists every cache-miss profile report to
+	// the store and enables GET /v1/history and GET /v1/drift. The
+	// store belongs to the caller (proofd opens and closes it); the
+	// server owns only its async writer.
+	History *histstore.Store
+	// HistoryQueue bounds reports waiting for the async store writer;
+	// a full queue drops (and counts) rather than blocking the
+	// serving path (0 = 256).
+	HistoryQueue int
+	// GitRev identifies the code revision stamped onto stored reports
+	// and the build-info metric ("" = the binary's vcs.revision, else
+	// "unknown").
+	GitRev string
 }
 
 func (c Config) withDefaults() Config {
@@ -117,16 +131,20 @@ func (c Config) withDefaults() Config {
 // Server is the proofd HTTP service. Construct with New; safe for
 // concurrent use.
 type Server struct {
-	cfg      Config
-	sess     *profsession.Session
-	adm      *admission
-	metrics  *metrics
-	traces   *obs.Ring
-	log      *slog.Logger
-	mux      *http.ServeMux
-	draining atomic.Bool
-	idPrefix string
-	idNext   atomic.Uint64
+	cfg        Config
+	sess       *profsession.Session
+	adm        *admission
+	metrics    *metrics
+	traces     *obs.Ring
+	log        *slog.Logger
+	mux        *http.ServeMux
+	draining   atomic.Bool
+	idPrefix   string
+	idNext     atomic.Uint64
+	gitRev     string
+	hist       *histstore.Store
+	histW      *histstore.Writer
+	driftGauge *obs.GaugeVec
 }
 
 // New constructs a server from cfg (zero value = defaults).
@@ -143,11 +161,18 @@ func New(cfg Config) *Server {
 		idPrefix: hex.EncodeToString(b[:]),
 	}
 	s.metrics = wireMetrics(cfg.Registry, s.adm, s.sess)
+	s.gitRev = resolveGitRev(cfg.GitRev)
+	wireBuildInfo(cfg.Registry, s.gitRev)
+	if cfg.History != nil {
+		s.wireHistory(cfg)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/platforms", s.handlePlatforms)
+	s.mux.HandleFunc("/v1/history", s.handleHistory)
+	s.mux.HandleFunc("/v1/drift", s.handleDrift)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
@@ -226,7 +251,8 @@ func traced(path string) bool {
 // scanner cannot explode the metrics cardinality.
 func metricPath(p string) string {
 	switch p {
-	case "/v1/profile", "/v1/sweep", "/v1/models", "/v1/platforms", "/healthz", "/metrics", "/debug/traces":
+	case "/v1/profile", "/v1/sweep", "/v1/models", "/v1/platforms",
+		"/v1/history", "/v1/drift", "/healthz", "/metrics", "/debug/traces":
 		return p
 	}
 	return "other"
@@ -534,26 +560,43 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 			s.metrics.degraded.Inc()
 			w.Header().Set("X-Cache", "stale")
 			w.Header().Set("X-Degraded", "stale-report")
-			s.writeProfileReport(w, r, ctx, stale)
+			// Degraded responses are replays of old runs; persisting
+			// them would pollute history with duplicates.
+			s.writeProfileReport(w, r, ctx, stale, false)
 			return
 		}
 		s.writeProfilingError(w, r, err)
 		return
 	}
 	w.Header().Set("X-Cache", string(outcome))
-	s.writeProfileReport(w, r, ctx, report)
+	// Only cache misses executed the pipeline and produced a new
+	// result; hits and dedups would store the same report again.
+	s.writeProfileReport(w, r, ctx, report, outcome == profsession.OutcomeMiss)
 }
 
 // writeProfileReport renders a profile response, honoring ?trace=1.
-func (s *Server) writeProfileReport(w http.ResponseWriter, r *http.Request, ctx context.Context, report *core.Report) {
+// The report is marshaled exactly once: the bytes on the wire are the
+// bytes handed to the history store (the differential suite asserts a
+// stored report reads back byte-identical to the response).
+func (s *Server) writeProfileReport(w http.ResponseWriter, r *http.Request, ctx context.Context, report *core.Report, persist bool) {
+	data, err := json.Marshal(report)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "encoding report failed: "+err.Error())
+		return
+	}
+	if persist {
+		s.persistReport(report, data)
+	}
 	if r.URL.Query().Get("trace") == "1" {
 		s.writeJSON(w, http.StatusOK, TracedProfileResponse{
-			Report: report,
+			Report: data,
 			Trace:  chromeTrace(ctx),
 		})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, report)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(data, '\n'))
 }
 
 // staleFallback decides whether a failed live profile may degrade to
@@ -572,7 +615,9 @@ func (s *Server) staleFallback(r *http.Request, opts core.Options, err error) (*
 // report plus the request's pipeline trace in the Chrome trace-event
 // format (load the trace value in Perfetto / chrome://tracing).
 type TracedProfileResponse struct {
-	Report *core.Report    `json:"report"`
+	// Report carries the already-marshaled core.Report (raw so the
+	// report bytes match the untraced response exactly).
+	Report json.RawMessage `json:"report"`
 	Trace  json.RawMessage `json:"trace,omitempty"`
 }
 
@@ -710,15 +755,50 @@ func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// HealthzResponse is the GET /healthz body: liveness plus the history
+// store's status, so a probe can tell "healthy but not recording" from
+// "recording and current".
+type HealthzResponse struct {
+	Status string      `json:"status"`
+	Store  StoreHealth `json:"store"`
+}
+
+// StoreHealth summarizes the history store for /healthz.
+type StoreHealth struct {
+	Enabled  bool `json:"enabled"`
+	Segments int  `json:"segments,omitempty"`
+	Records  int  `json:"records,omitempty"`
+	// LastAppendAgeSeconds is the age of the newest stored record
+	// (-1 when the store is enabled but empty).
+	LastAppendAgeSeconds float64 `json:"last_append_age_seconds,omitempty"`
+	// DroppedWrites counts history records lost to a full write queue.
+	DroppedWrites int64 `json:"dropped_writes,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	resp := HealthzResponse{Status: "ok"}
+	if s.hist != nil {
+		st := s.hist.Stats()
+		resp.Store = StoreHealth{
+			Enabled:              true,
+			Segments:             st.Segments,
+			Records:              st.Records,
+			LastAppendAgeSeconds: -1,
+			DroppedWrites:        s.histW.Dropped(),
+		}
+		if !st.LastAppend.IsZero() {
+			resp.Store.LastAppendAgeSeconds = time.Since(st.LastAppend).Seconds()
+		}
+	}
 	if s.draining.Load() {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		resp.Status = "draining"
+		s.writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -808,6 +888,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // Returns nil on a clean drain, the shutdown context's error when the
 // deadline forces connections to abort.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// The history writer drains with the server: pending appends land
+	// on disk and the index flushes before Serve returns.
+	defer s.closeHistory()
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,

@@ -118,6 +118,10 @@ func TestHandlers(t *testing.T) {
 		{"models wrong method", "POST", "/v1/models", `{}`, 405, "method_not_allowed"},
 		{"platforms success", "GET", "/v1/platforms", "", 200, ""},
 		{"platforms wrong method", "DELETE", "/v1/platforms", "", 405, "method_not_allowed"},
+		{"history without store", "GET", "/v1/history", "", 503, "history_disabled"},
+		{"history wrong method", "POST", "/v1/history", `{}`, 405, "method_not_allowed"},
+		{"drift without store", "GET", "/v1/drift", "", 503, "history_disabled"},
+		{"drift wrong method", "PUT", "/v1/drift", `{}`, 405, "method_not_allowed"},
 		{"healthz success", "GET", "/healthz", "", 200, ""},
 		{"metrics success", "GET", "/metrics", "", 200, ""},
 		{"metrics wrong method", "POST", "/metrics", `{}`, 405, "method_not_allowed"},
