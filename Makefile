@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint bench-serving bench-sweep
+.PHONY: build test lint lint-sarif lint-baseline bench-serving bench-sweep
 
 build:
 	$(GO) build ./...
@@ -10,7 +10,18 @@ test:
 
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/prooflint ./...
+	$(GO) run ./cmd/prooflint -baseline=lint.baseline ./...
+
+# lint-sarif renders the same findings as SARIF 2.1.0 (what CI uploads
+# for code-scanning UIs); it does not fail the build by itself.
+lint-sarif:
+	$(GO) run ./cmd/prooflint -format=sarif -baseline=lint.baseline ./... > prooflint.sarif || true
+
+# lint-baseline regenerates lint.baseline from the current findings.
+# Only do this to adopt intentionally accepted findings; annotate each
+# new entry with a justification comment.
+lint-baseline:
+	$(GO) run ./cmd/prooflint -write-baseline -baseline=lint.baseline ./...
 
 # bench-serving regenerates BENCH_serving.json: the pinned-seed
 # closed-loop smoke of the serving path (cache-hit heavy, fixed request

@@ -75,7 +75,7 @@ func main() {
 		if b == 0 {
 			b = 128
 		}
-		rows, err := experiments.Table4WithBatch(b)
+		rows, err := experiments.Table4WithBatchCtx(ctx, b)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,7 +87,7 @@ func main() {
 		if b == 0 {
 			b = 128
 		}
-		rows, err := experiments.PerLayerTable4(b)
+		rows, err := experiments.PerLayerTable4Ctx(ctx, b)
 		if err != nil {
 			fatal(err)
 		}
@@ -157,7 +157,7 @@ func main() {
 		ran++
 	}
 	if all || want["table6"] {
-		rows, err := experiments.Table6()
+		rows, err := experiments.Table6Ctx(ctx)
 		if err != nil {
 			fatal(err)
 		}

@@ -3,10 +3,15 @@
 // diagnostics.
 //
 //	go run ./cmd/prooflint ./...
+//	go run ./cmd/prooflint -baseline=lint.baseline -format=sarif ./...
 //
 // Exit status: 0 clean, 1 diagnostics found, 2 usage or load failure.
 // Findings are suppressed in source with a trailing or preceding
-// "//lint:ignore <analyzer|all> <reason>" comment.
+// "//lint:ignore <analyzer|all> <reason>" comment; pre-existing
+// findings a new analyzer surfaces can instead be carried in a
+// committed baseline file (-baseline), which the run subtracts before
+// deciding the exit status. -write-baseline regenerates that file
+// from the current findings.
 package main
 
 import (
@@ -24,8 +29,11 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("prooflint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	format := fs.String("format", "text", "output format: text or sarif")
+	baseline := fs.String("baseline", "", "baseline file of known findings that do not fail the run")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline file from current findings and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: prooflint [-list] [packages]\n\npackages are directories or dir/... patterns (default ./...)\n\n")
+		fmt.Fprintf(fs.Output(), "usage: prooflint [-list] [-format=text|sarif] [-baseline=file] [-write-baseline] [packages]\n\npackages are directories or dir/... patterns (default ./...)\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -38,6 +46,10 @@ func run(args []string) int {
 		}
 		return 0
 	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "prooflint: unknown format %q (want text or sarif)\n", *format)
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -48,8 +60,46 @@ func run(args []string) int {
 		return 2
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *writeBaseline {
+		path := *baseline
+		if path == "" {
+			path = "lint.baseline"
+		}
+		if err := os.WriteFile(path, lint.FormatBaseline(diags), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "prooflint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "prooflint: wrote %d finding(s) to %s\n", len(diags), path)
+		return 0
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prooflint:", err)
+			return 2
+		}
+		var matched int
+		var stale []string
+		diags, matched, stale = lint.ApplyBaseline(diags, lint.ParseBaseline(data))
+		if matched > 0 {
+			fmt.Fprintf(os.Stderr, "prooflint: %d finding(s) covered by %s\n", matched, *baseline)
+		}
+		for _, k := range stale {
+			fmt.Fprintf(os.Stderr, "prooflint: stale baseline entry (finding fixed — delete it): %s\n", k)
+		}
+	}
+
+	if *format == "sarif" {
+		if err := lint.WriteSARIF(os.Stdout, diags, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "prooflint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "prooflint: %d issue(s)\n", len(diags))

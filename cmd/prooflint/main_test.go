@@ -28,3 +28,35 @@ func TestRunExitCodes(t *testing.T) {
 		t.Errorf("-list: exit = %d, want 0", got)
 	}
 }
+
+// TestRunFlagExitCodes covers the v2 flags: format validation,
+// baseline subtraction flipping the exit status, and -write-baseline
+// capturing the current findings.
+func TestRunFlagExitCodes(t *testing.T) {
+	dirty := "../../internal/lint/testdata/src/lockedcall"
+	if got := run([]string{"-format=yaml", dirty}); got != 2 {
+		t.Errorf("unknown format: exit = %d, want 2", got)
+	}
+	if got := run([]string{"-baseline=does-not-exist.baseline", dirty}); got != 2 {
+		t.Errorf("missing baseline file: exit = %d, want 2", got)
+	}
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+	if got := run([]string{"-write-baseline", "-baseline=" + base, dirty}); got != 0 {
+		t.Errorf("-write-baseline: exit = %d, want 0", got)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("baseline file is empty")
+	}
+	// Every current finding baselined: the same dirty tree now passes,
+	// in text and in SARIF form alike.
+	if got := run([]string{"-baseline=" + base, dirty}); got != 0 {
+		t.Errorf("fully baselined tree: exit = %d, want 0", got)
+	}
+	if got := run([]string{"-format=sarif", "-baseline=" + base, dirty}); got != 0 {
+		t.Errorf("fully baselined tree (sarif): exit = %d, want 0", got)
+	}
+}

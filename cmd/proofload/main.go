@@ -30,10 +30,13 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C / SIGTERM stops issuing and grades the partial run.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("proofload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -112,10 +115,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer recFile.Close()
 		opts.Record = recFile
 	}
-
-	// Ctrl-C / SIGTERM stops issuing and grades the partial run.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
-	defer stop()
 
 	res, err := workload.Run(ctx, plan, tgt, opts)
 	if err != nil {

@@ -33,8 +33,15 @@ type PerLayerAccuracy struct {
 	FLOPErrP50, FLOPErrP90 float64
 }
 
-// PerLayerTable4 measures per-layer accuracy for the Table 4 models.
+// PerLayerTable4 is the context-free convenience form of
+// PerLayerTable4Ctx.
 func PerLayerTable4(batch int) ([]PerLayerAccuracy, error) {
+	return PerLayerTable4Ctx(context.Background(), batch)
+}
+
+// PerLayerTable4Ctx measures per-layer accuracy for the Table 4
+// models; ctx cancels the per-model backend builds between models.
+func PerLayerTable4Ctx(ctx context.Context, batch int) ([]PerLayerAccuracy, error) {
 	plat, err := hardware.Get("a100")
 	if err != nil {
 		return nil, err
@@ -54,12 +61,12 @@ func PerLayerTable4(batch int) ([]PerLayerAccuracy, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: batch})
+		eng, err := be.Build(ctx, rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: batch})
 		if err != nil {
 			return nil, err
 		}
 		opt := analysis.NewOptimizedRep(rep)
-		mapping, err := be.MapLayers(context.Background(), eng, opt)
+		mapping, err := be.MapLayers(ctx, eng, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -27,10 +28,15 @@ var Table6Paper = [][3]float64{
 	{7.359, 15.177, 11.5},
 }
 
-// Table6 measures the achieved roofline peak and power on the Orin NX
-// at the paper's clock configurations.
+// Table6 is the context-free convenience form of Table6Ctx.
 func Table6() ([]power.PeakRow, error) {
 	return power.PeakSweep("orin-nx", graph.Float16, Table6Pairs)
+}
+
+// Table6Ctx measures the achieved roofline peak and power on the Orin
+// NX at the paper's clock configurations.
+func Table6Ctx(ctx context.Context) ([]power.PeakRow, error) {
+	return power.PeakSweepCtx(ctx, "orin-nx", graph.Float16, Table6Pairs)
 }
 
 // FormatTable6 renders Table 6 alongside the paper's values.

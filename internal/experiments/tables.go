@@ -157,9 +157,16 @@ func Table4() ([]Table4Row, error) {
 	return Table4WithBatch(128)
 }
 
-// Table4WithBatch runs Table 4 at a custom batch size (smaller batches
-// keep the test suite fast; the ratios are batch-independent).
+// Table4WithBatch is the context-free convenience form of
+// Table4WithBatchCtx.
 func Table4WithBatch(batch int) ([]Table4Row, error) {
+	return Table4WithBatchCtx(context.Background(), batch)
+}
+
+// Table4WithBatchCtx runs Table 4 at a custom batch size (smaller
+// batches keep the test suite fast; the ratios are batch-independent).
+// ctx cancels the per-model backend builds between models.
+func Table4WithBatchCtx(ctx context.Context, batch int) ([]Table4Row, error) {
 	plat, err := hardware.Get("a100")
 	if err != nil {
 		return nil, err
@@ -179,14 +186,14 @@ func Table4WithBatch(batch int) ([]Table4Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: batch})
+		eng, err := be.Build(ctx, rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: batch})
 		if err != nil {
 			return nil, err
 		}
 		// Analytical prediction at backend-layer granularity: sum of
 		// fused-layer costs via the mapping.
 		opt := analysis.NewOptimizedRep(rep)
-		mapping, err := be.MapLayers(context.Background(), eng, opt)
+		mapping, err := be.MapLayers(ctx, eng, opt)
 		if err != nil {
 			return nil, err
 		}

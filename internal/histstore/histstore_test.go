@@ -2,6 +2,7 @@ package histstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -320,11 +321,13 @@ func TestWriterAsync(t *testing.T) {
 			t.Fatalf("Enqueue %d rejected", i)
 		}
 	}
-	w.Flush()
+	if err := w.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
 	if st := s.Stats(); st.Records != 5 {
 		t.Fatalf("after Flush, Records = %d, want 5", st.Records)
 	}
-	if err := w.Close(); err != nil {
+	if err := w.Close(context.Background()); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
 	if w.Enqueue(testMeta("m", "p", "r", 9), testReport("m", "p", 9)) {
@@ -333,15 +336,17 @@ func TestWriterAsync(t *testing.T) {
 	if w.Dropped() != 1 {
 		t.Errorf("Dropped = %d, want 1", w.Dropped())
 	}
-	w.Flush() // must not hang or panic on a closed writer
+	if err := w.Flush(context.Background()); err != nil { // must not hang or panic on a closed writer
+		t.Fatalf("Flush after Close: %v", err)
+	}
 }
 
 func TestWriterInvalidRecordCountsError(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), Options{})
 	w := NewWriter(s, 4)
-	defer w.Close()
+	defer w.Close(context.Background())
 	w.Enqueue(Meta{}, []byte("{}")) // no model/platform: append fails
-	w.Flush()
+	w.Flush(context.Background())
 	if w.Errors() != 1 {
 		t.Errorf("Errors = %d, want 1", w.Errors())
 	}

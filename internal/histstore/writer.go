@@ -1,6 +1,7 @@
 package histstore
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -34,7 +35,11 @@ type writeReq struct {
 }
 
 // NewWriter starts a writer over store with the given queue capacity
-// (0 = 256).
+// (0 = 256). The drain goroutine's lifetime is explicit — Close stops
+// it — rather than bound to a construction-time context, so a writer
+// can outlive the request that created it.
+//
+//lint:ignore ctxfirst lifecycle is managed by Close, not a construction context
 func NewWriter(store *Store, queue int) *Writer {
 	if queue <= 0 {
 		queue = 256
@@ -85,22 +90,34 @@ func (w *Writer) Enqueue(meta Meta, report []byte) bool {
 }
 
 // Flush blocks until every record enqueued before the call has been
-// appended (or failed). Used by tests and shutdown.
-func (w *Writer) Flush() {
+// appended (or failed), or until ctx expires — a wedged disk degrades
+// history completeness, it must not hang shutdown. Used by tests and
+// shutdown.
+func (w *Writer) Flush(ctx context.Context) error {
 	w.sendMu.RLock()
 	if w.closed {
 		w.sendMu.RUnlock()
-		return
+		return nil
 	}
 	done := make(chan struct{})
 	// Blocking send: a flush barrier must get in even behind a full
-	// queue of real work. Safe under the shared lock — the drain
-	// goroutine consumes without taking sendMu, so the queue always
-	// empties out from under us.
+	// queue of real work (but never past ctx). Safe under the shared
+	// lock — the drain goroutine consumes without taking sendMu, so
+	// the queue always empties out from under us.
 	//lint:ignore lockedcall RLock fences channel close; the drain side never locks
-	w.ch <- writeReq{done: done}
+	select {
+	case w.ch <- writeReq{done: done}:
+	case <-ctx.Done():
+		w.sendMu.RUnlock()
+		return ctx.Err()
+	}
 	w.sendMu.RUnlock()
-	<-done
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Dropped returns how many records were rejected by a full queue or a
@@ -111,8 +128,11 @@ func (w *Writer) Dropped() int64 { return w.dropped.Load() }
 func (w *Writer) Errors() int64 { return w.errs.Load() }
 
 // Close drains the queue, stops the goroutine, and flushes the store
-// index. The underlying store stays open (it may be shared).
-func (w *Writer) Close() error {
+// index; ctx bounds the drain (on expiry the goroutine keeps emptying
+// the queue in the background, but the index flush is skipped and
+// ctx's error returned). The underlying store stays open (it may be
+// shared).
+func (w *Writer) Close(ctx context.Context) error {
 	w.sendMu.Lock()
 	if w.closed {
 		w.sendMu.Unlock()
@@ -121,6 +141,15 @@ func (w *Writer) Close() error {
 	w.closed = true
 	close(w.ch)
 	w.sendMu.Unlock()
-	w.wg.Wait()
-	return w.store.FlushIndex()
+	drained := make(chan struct{})
+	go func() {
+		w.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return w.store.FlushIndex()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

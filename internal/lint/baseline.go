@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A baseline file lets new analyzers land strict-for-new-code: known
+// findings are committed (each with a justification comment) and the
+// run fails only on diagnostics not in the file. Entries are keyed by
+// "file: analyzer: message" — deliberately without line numbers, so
+// unrelated edits above a baselined finding do not invalidate it —
+// and matched as a multiset: three identical findings in one file need
+// three entries, and fixing one shrinks the allowance.
+
+// BaselineKey renders the baseline identity of a diagnostic.
+func BaselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos.Filename, d.Analyzer, d.Message)
+}
+
+// ParseBaseline reads a baseline file into a multiset of keys. Blank
+// lines and #-comments (the per-entry justifications) are skipped.
+func ParseBaseline(data []byte) map[string]int {
+	base := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line]++
+	}
+	return base
+}
+
+// ApplyBaseline splits diags into the ones not covered by the
+// baseline (still position-sorted) and the number it absorbed. stale
+// returns baseline entries that matched nothing — fixed findings whose
+// entries should be deleted so the allowance cannot be respent.
+func ApplyBaseline(diags []Diagnostic, base map[string]int) (fresh []Diagnostic, matched int, stale []string) {
+	remaining := make(map[string]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		key := BaselineKey(d)
+		if remaining[key] > 0 {
+			remaining[key]--
+			matched++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, matched, stale
+}
+
+// FormatBaseline renders diagnostics as a baseline file, sorted by
+// key so regeneration diffs cleanly.
+func FormatBaseline(diags []Diagnostic) []byte {
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, BaselineKey(d))
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("# prooflint baseline: known findings that do not fail the run.\n")
+	buf.WriteString("# Regenerate with: go run ./cmd/prooflint -write-baseline ./...\n")
+	buf.WriteString("# Annotate every entry with a justification comment above it.\n")
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}

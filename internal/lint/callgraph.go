@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallSite is one call expression inside a function, resolved to its
+// possible static targets.
+type CallSite struct {
+	Call *ast.CallExpr
+	Pos  token.Pos
+	// Callees are the resolved targets. Direct calls and concrete
+	// method calls have exactly one; interface method calls carry the
+	// interface method itself plus every implementing type's method in
+	// the program (conservative: any of them may run). Dynamic calls
+	// through func values resolve to nothing.
+	Callees []*types.Func
+	// Iface marks a conservatively resolved interface method call.
+	Iface bool
+	// InClosure marks calls lexically inside a nested function
+	// literal: they run when the closure runs, not necessarily during
+	// the enclosing function's activation.
+	InClosure bool
+}
+
+// FuncNode is one declared function or method in the call graph.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	File *File
+	// Calls lists the function's call sites in source order.
+	Calls []CallSite
+}
+
+// CallGraph is the static call graph over every source-checked
+// function in a Program.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	order []*FuncNode
+}
+
+// Node returns the graph node for fn, or nil (stdlib functions and
+// functions without bodies have no node).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// Funcs returns every node in deterministic (package path, position)
+// order.
+func (g *CallGraph) Funcs() []*FuncNode { return g.order }
+
+// FuncKey renders a stable human-readable identity for a function:
+// "pkgpath.Name" for package functions, "pkgpath.(Recv).Name" for
+// methods (pointer receivers render without the star, so one spelling
+// names the method regardless of receiver form).
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s).%s", pkg, named.Obj().Name(), fn.Name())
+		}
+		return fmt.Sprintf("%s.(%s).%s", pkg, t.String(), fn.Name())
+	}
+	return pkg + "." + fn.Name()
+}
+
+// implIndex resolves interface method calls to concrete methods: all
+// package-level named non-generic types in the program, probed with
+// types.Implements.
+type implIndex struct {
+	named []*types.Named
+	cache map[*types.Func][]*types.Func
+}
+
+func newImplIndex(srcs []*sourcePkg) *implIndex {
+	ix := &implIndex{cache: map[*types.Func][]*types.Func{}}
+	for _, sp := range srcs {
+		scope := sp.tpkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			ix.named = append(ix.named, named)
+		}
+	}
+	return ix
+}
+
+// resolve returns the concrete methods that may run when ifaceMethod
+// is called through its interface.
+func (ix *implIndex) resolve(ifaceMethod *types.Func) []*types.Func {
+	if impls, ok := ix.cache[ifaceMethod]; ok {
+		return impls
+	}
+	sig, _ := ifaceMethod.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return nil
+	}
+	var impls []*types.Func
+	for _, named := range ix.named {
+		var recv types.Type
+		switch {
+		case types.Implements(named, iface):
+			recv = named
+		case types.Implements(types.NewPointer(named), iface):
+			recv = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), ifaceMethod.Name())
+		if m, ok := obj.(*types.Func); ok {
+			impls = append(impls, m)
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return FuncKey(impls[i]) < FuncKey(impls[j]) })
+	ix.cache[ifaceMethod] = impls
+	return impls
+}
+
+// buildCallGraph walks every source-checked function and resolves its
+// call sites.
+func buildCallGraph(prog *Program, srcs []*sourcePkg) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*FuncNode{}}
+	ix := newImplIndex(srcs)
+	for _, sp := range srcs {
+		for _, f := range sp.pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := prog.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, File: f}
+				collectCalls(prog.Info, ix, fd.Body, false, &node.Calls)
+				g.nodes[fn] = node
+				g.order = append(g.order, node)
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool { return FuncKey(g.order[i].Fn) < FuncKey(g.order[j].Fn) })
+	return g
+}
+
+// collectCalls gathers the call sites under n, tracking whether the
+// walk is inside a nested function literal.
+func collectCalls(info *types.Info, ix *implIndex, n ast.Node, inClosure bool, out *[]CallSite) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok && node != n {
+			collectCalls(info, ix, lit.Body, true, out)
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		site := CallSite{Call: call, Pos: call.Pos(), InClosure: inClosure}
+		if callee, iface := resolveCallee(info, call); callee != nil {
+			site.Callees = append(site.Callees, callee)
+			if iface {
+				site.Iface = true
+				site.Callees = append(site.Callees, ix.resolve(callee)...)
+			}
+			*out = append(*out, site)
+		}
+		return true
+	})
+}
+
+// resolveCallee returns the static target of a call: the declared
+// function, the concrete method, or the interface method (iface=true).
+// Dynamic calls through func values return nil.
+func resolveCallee(info *types.Info, call *ast.CallExpr) (fn *types.Func, iface bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn, false
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal && sel.Kind() != types.MethodExpr {
+				return nil, false // func-typed field: dynamic
+			}
+			m, _ := sel.Obj().(*types.Func)
+			if m == nil {
+				return nil, false
+			}
+			if _, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return m, true
+			}
+			return m, false
+		}
+		// Qualified call pkg.Fn.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn, false
+	}
+	return nil, false
+}

@@ -15,10 +15,12 @@ import (
 var defaultCtxScopes = []string{
 	"internal/core",
 	"internal/backend",
+	"internal/histstore",
 	"internal/memo",
 	"internal/parallel",
 	"internal/profsession",
 	"internal/roofline",
+	"internal/server",
 	"internal/workload",
 }
 
@@ -87,6 +89,17 @@ func hasCtxFirstParam(ft *ast.FuncType) bool {
 	return ok && id.Name == "context" && sel.Sel.Name == "Context"
 }
 
+// selectHasDefault reports whether a select statement has a default
+// clause (making every channel operation in it a non-blocking poll).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // blockingConstruct returns a description of the first fan-out or
 // blocking construct in the function's own body (nested function
 // literals excluded: a closure blocks whoever eventually calls it,
@@ -101,7 +114,21 @@ func blockingConstruct(body *ast.BlockStmt) string {
 		case *ast.GoStmt:
 			found = "starts goroutines"
 		case *ast.SelectStmt:
-			found = "blocks in select"
+			if !selectHasDefault(x) {
+				found = "blocks in select"
+				return false
+			}
+			// A select with a default never blocks: its channel
+			// operations are polls. Only the case bodies can block.
+			for _, clause := range x.Body.List {
+				if found != "" {
+					break
+				}
+				if cc, ok := clause.(*ast.CommClause); ok {
+					found = blockingConstruct(&ast.BlockStmt{List: cc.Body})
+				}
+			}
+			return false
 		case *ast.SendStmt:
 			found = "sends on a channel"
 		case *ast.UnaryExpr:

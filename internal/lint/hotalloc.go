@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"runtime"
+	"strings"
+)
+
+// hotpathPrefix marks a function as a zero-alloc hot path root in its
+// doc comment: //lint:hotpath <reason>.
+const hotpathPrefix = "//lint:hotpath"
+
+// HotAlloc is the enforcement arm of the zero-alloc pass (ROADMAP
+// item 5): functions marked //lint:hotpath (or listed in Roots) are
+// walked transitively through the call graph, and every
+// allocation-inducing construct on the way is flagged — escaping
+// composite literals, slice/map literals, make/new, string
+// concatenation and string<->[]byte conversions, fmt calls, interface
+// boxing of concrete values, append growth inside loops, closures and
+// goroutine launches. The analyzer is deliberately conservative
+// (escape analysis may prove some sites free); intentional
+// allocations on cold branches carry //lint:ignore hotalloc with the
+// measurement that justifies them, and the testing.AllocsPerRun == 0
+// assertions stay the ground truth.
+type HotAlloc struct {
+	// Roots lists extra hot-path entry points by FuncKey ("pkg.Func"
+	// or "pkg.(Type).Method") for call sites that cannot carry a
+	// //lint:hotpath directive (e.g. generated code).
+	Roots []string
+}
+
+// NewHotAlloc returns the analyzer.
+func NewHotAlloc() *HotAlloc { return &HotAlloc{} }
+
+// Name implements Analyzer.
+func (*HotAlloc) Name() string { return "hotalloc" }
+
+// Doc implements Analyzer.
+func (*HotAlloc) Doc() string {
+	return "flag allocation-inducing constructs reachable from //lint:hotpath functions"
+}
+
+// Check implements Analyzer; hotalloc works only at program scope.
+func (*HotAlloc) Check(*File, *Reporter) {}
+
+// CheckProgram implements ProgramAnalyzer.
+func (a *HotAlloc) CheckProgram(prog *Program, r *Reporter) {
+	extra := map[string]bool{}
+	for _, key := range a.Roots {
+		extra[key] = true
+	}
+	// Seed the walk with annotated and config-listed roots.
+	type item struct {
+		node *FuncNode
+		root string
+	}
+	var queue []item
+	visited := map[*types.Func]bool{}
+	for _, node := range prog.Graph.Funcs() {
+		if hasHotpathDirective(node.Decl) || extra[FuncKey(node.Fn)] {
+			queue = append(queue, item{node, node.Fn.Name()})
+			visited[node.Fn] = true
+		}
+	}
+	scan := newAllocScanner(prog, r)
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if prog.InScope(prog.Fset.Position(it.node.Decl.Pos()).Filename) {
+			scan.function(it.node, it.root)
+		}
+		for _, site := range it.node.Calls {
+			if site.InClosure {
+				continue // the closure itself is flagged; its body runs elsewhere
+			}
+			// Interface-dispatched Error() fans out to every error
+			// implementation in the program, and error stringification
+			// only runs once a failure already happened — cold by
+			// convention, so it stays outside the hot-path walk.
+			if site.Iface && isErrorMethod(site.Callees) {
+				continue
+			}
+			for _, callee := range site.Callees {
+				next := prog.Graph.Node(callee)
+				if next == nil || visited[callee] {
+					continue
+				}
+				visited[callee] = true
+				queue = append(queue, item{next, it.root})
+			}
+		}
+	}
+}
+
+// isErrorMethod reports whether the resolved callees are Error()
+// string implementations — the error interface's only method.
+func isErrorMethod(callees []*types.Func) bool {
+	for _, fn := range callees {
+		if fn.Name() != "Error" {
+			return false
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			return false
+		}
+		basic, ok := sig.Results().At(0).Type().(*types.Basic)
+		if !ok || basic.Kind() != types.String {
+			return false
+		}
+	}
+	return len(callees) > 0
+}
+
+// hasHotpathDirective reports whether the function's doc comment
+// carries //lint:hotpath.
+func hasHotpathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathPrefix) {
+			rest := strings.TrimPrefix(c.Text, hotpathPrefix)
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allocScanner walks one function body flagging allocation-inducing
+// constructs.
+type allocScanner struct {
+	prog  *Program
+	r     *Reporter
+	sizes types.Sizes
+}
+
+func newAllocScanner(prog *Program, r *Reporter) *allocScanner {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	return &allocScanner{prog: prog, r: r, sizes: sizes}
+}
+
+func (s *allocScanner) report(pos token.Pos, root, format string, args ...any) {
+	args = append(args, root)
+	s.r.Report(pos, format+" (hot path via %s)", args...)
+}
+
+// function scans one hot function's body.
+func (s *allocScanner) function(node *FuncNode, root string) {
+	s.walk(node.Decl.Body, root, false)
+}
+
+// walk descends n, tracking whether the traversal is inside a loop
+// (append growth only matters there).
+func (s *allocScanner) walk(n ast.Node, root string, inLoop bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.ForStmt:
+			s.walkLoop(node.Init, node.Cond, node.Post, node.Body, root)
+			return false
+		case *ast.RangeStmt:
+			s.walk(node.X, root, inLoop)
+			s.walkLoop(nil, nil, nil, node.Body, root)
+			return false
+		case *ast.FuncLit:
+			s.report(node.Pos(), root, "function literal allocates a closure")
+			return false
+		case *ast.GoStmt:
+			s.report(node.Pos(), root, "go statement allocates a goroutine")
+			return true
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					s.report(node.Pos(), root, "address of composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch s.typeOf(node).Underlying().(type) {
+			case *types.Slice:
+				s.report(node.Pos(), root, "slice literal allocates")
+			case *types.Map:
+				s.report(node.Pos(), root, "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			// Report a concat chain (a + b + c) once, at its first +:
+			// the chain's ADD nodes all share the same position and
+			// would only duplicate the diagnostic.
+			if node.Op == token.ADD && s.isNonConstString(node) && !s.isStringAdd(node.X) {
+				s.report(node.Pos(), root, "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			s.call(node, root, inLoop)
+		}
+		return true
+	})
+}
+
+// walkLoop scans a loop: header outside the loop context, body inside.
+func (s *allocScanner) walkLoop(init, cond, post ast.Node, body *ast.BlockStmt, root string) {
+	for _, h := range []ast.Node{init, cond, post} {
+		if h != nil {
+			s.walk(h, root, false)
+		}
+	}
+	s.walk(body, root, true)
+}
+
+func (s *allocScanner) typeOf(e ast.Expr) types.Type {
+	if tv, ok := s.prog.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// isStringAdd reports whether e is itself a non-constant string
+// concatenation (the left spine of a concat chain).
+func (s *allocScanner) isStringAdd(e ast.Expr) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	return ok && b.Op == token.ADD && s.isNonConstString(b)
+}
+
+// isNonConstString reports whether e is a string expression not folded
+// to a constant (constant concatenation happens at compile time).
+func (s *allocScanner) isNonConstString(e *ast.BinaryExpr) bool {
+	tv, ok := s.prog.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// call handles the call-shaped allocation sources: conversions,
+// builtins, fmt, and interface boxing of arguments.
+func (s *allocScanner) call(call *ast.CallExpr, root string, inLoop bool) {
+	if tv, ok := s.prog.Info.Types[call.Fun]; ok && tv.IsType() {
+		s.conversion(call, tv.Type, root)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.prog.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				s.report(call.Pos(), root, "make allocates")
+			case "new":
+				s.report(call.Pos(), root, "new allocates")
+			case "append":
+				if inLoop {
+					s.report(call.Pos(), root, "append inside a loop may grow the backing array; preallocate capacity")
+				}
+			}
+			return
+		}
+	}
+	if callee, _ := resolveCallee(s.prog.Info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		s.report(call.Pos(), root, "fmt.%s allocates (formatting boxes every operand)", callee.Name())
+		return
+	}
+	s.boxing(call, root)
+}
+
+// conversion flags string<->[]byte conversions, which copy.
+func (s *allocScanner) conversion(call *ast.CallExpr, to types.Type, root string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := s.typeOf(call.Args[0])
+	if isStringType(to) && isByteSlice(from) {
+		s.report(call.Pos(), root, "[]byte-to-string conversion copies")
+	}
+	if isByteSlice(to) && isStringType(from) {
+		s.report(call.Pos(), root, "string-to-[]byte conversion copies")
+	}
+}
+
+// boxing flags concrete non-pointer values passed into interface
+// parameters (the conversion heap-allocates unless the value is
+// zero-size or escape analysis saves it).
+func (s *allocScanner) boxing(call *ast.CallExpr, root string) {
+	sig, _ := s.typeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	args := call.Args
+	if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel, ok := s.prog.Info.Selections[se]; ok && sel.Kind() == types.MethodExpr && len(args) > 0 {
+			args = args[1:]
+		}
+	}
+	n := sig.Params().Len()
+	fixed := n
+	if sig.Variadic() {
+		fixed--
+	}
+	for i, arg := range args {
+		var param types.Type
+		switch {
+		case i < fixed:
+			param = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				return // f(xs...) forwards an existing slice, no per-element boxing
+			}
+			slice, ok := sig.Params().At(n - 1).Type().(*types.Slice)
+			if !ok {
+				return
+			}
+			param = slice.Elem()
+		default:
+			return
+		}
+		if s.boxes(param, arg) {
+			s.report(arg.Pos(), root, "%s argument is boxed into %s", s.typeOf(arg), param)
+		}
+	}
+}
+
+// boxes reports whether passing arg as param heap-allocates: param is
+// an interface, arg is a concrete non-pointer value of non-zero size
+// and not an untyped nil or constant... constants of pointer-free
+// scalar kinds still box, so only nil and zero-size values are exempt.
+func (s *allocScanner) boxes(param types.Type, arg ast.Expr) bool {
+	if !types.IsInterface(param) {
+		return false
+	}
+	tv, ok := s.prog.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	at := tv.Type
+	if types.IsInterface(at) {
+		return false // interface-to-interface carries the existing box
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: the word itself is stored
+	}
+	if s.sizes.Sizeof(at) == 0 {
+		return false // zero-size values share runtime.zerobase
+	}
+	return true
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}

@@ -1,23 +1,29 @@
-// Package lint is prooflint's engine: a small, stdlib-only
-// static-analysis framework (go/ast, go/parser, go/token — no
-// go/types, no x/tools) plus this repo's project-specific analyzers.
+// Package lint is prooflint's engine: a stdlib-only static-analysis
+// framework (go/ast, go/parser, go/token, go/types — no x/tools) plus
+// this repo's project-specific analyzers.
 //
-// The framework half is generic: it walks package directories, parses
-// files through a per-file AST cache, runs every analyzer over every
-// file, applies //lint:ignore suppression directives, and returns
-// position-sorted diagnostics. The analyzer half encodes pipeline
-// invariants the compiler cannot check — context plumbing, span
-// lifecycle, metric naming, test-goroutine discipline, and blocking
-// calls under mutexes (see the *Analyzer constructors).
+// The framework has two tiers. The syntactic tier is generic: it walks
+// package directories, parses files through a content-hashed AST
+// cache, runs every per-file analyzer, applies //lint:ignore
+// suppression directives, and returns position-sorted diagnostics.
+// The type-aware tier (types.go, callgraph.go) layers go/types over
+// the same parsed files — per-package *types.Info, a repo-wide call
+// graph with conservatively resolved interface calls, and a facts
+// store for cross-package conclusions — and feeds the interprocedural
+// analyzers (ctxflow, hotalloc, lockorder) that per-file syntax cannot
+// express.
 //
-// Because there is no type checker, analyzers match syntax: obs.Start
-// is "a call to selector Start on identifier obs", not "the function
-// proof/internal/obs.Start". That trade keeps the tool dependency-free
-// and fast, at the cost of being fooled by shadowed identifiers — an
-// acceptable deal for a repo that controls its own naming conventions.
+// Syntactic analyzers still match syntax: obs.Start is "a call to
+// selector Start on identifier obs", not "the function
+// proof/internal/obs.Start". That trade keeps the per-file tier fast
+// and usable on any tree that parses, at the cost of being fooled by
+// shadowed identifiers — an acceptable deal for a repo that controls
+// its own naming conventions. The type-aware tier pays the
+// type-checking cost only when one of its analyzers is in the run.
 package lint
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -66,6 +72,11 @@ type Package struct {
 	// Name is the package name from the first parsed file.
 	Name  string
 	Files []*File
+
+	// loader is the Loader that parsed this package; the type-aware
+	// tier uses it to parse dependency packages through the same cache
+	// and FileSet.
+	loader *Loader
 }
 
 // Analyzer is one lint pass. Check is called once per file; analyzers
@@ -87,18 +98,33 @@ type Finisher interface {
 	Finish(r *Reporter)
 }
 
+// ProgramAnalyzer is implemented by type-aware analyzers that run once
+// over the whole type-checked program (call graph, cross-package
+// facts) instead of file by file. Check is never called on them.
+type ProgramAnalyzer interface {
+	Analyzer
+	CheckProgram(prog *Program, r *Reporter)
+}
+
 // Reporter collects diagnostics for one analyzer. During Check it is
 // bound to the current file; during Finish analyzers report with the
-// positions they captured earlier.
+// positions they captured earlier; program analyzers resolve positions
+// against the program's shared FileSet.
 type Reporter struct {
 	analyzer string
 	file     *File
+	fset     *token.FileSet
 	diags    *[]Diagnostic
 }
 
-// Report records a diagnostic at a position in the current file.
+// Report records a diagnostic at a position in the current file (or,
+// for program analyzers, anywhere in the program's FileSet).
 func (r *Reporter) Report(pos token.Pos, format string, args ...any) {
-	r.ReportAt(r.file.Fset.Position(pos), format, args...)
+	fset := r.fset
+	if fset == nil {
+		fset = r.file.Fset
+	}
+	r.ReportAt(fset.Position(pos), format, args...)
 }
 
 // ReportAt records a diagnostic at an already-resolved position (the
@@ -113,49 +139,59 @@ func (r *Reporter) ReportAt(pos token.Position, format string, args ...any) {
 
 // ---- AST cache ----
 
-// cacheEntry is one parsed file plus the stat fingerprint it was
-// parsed under.
+// cacheEntry is one parsed file plus the fingerprint it was parsed
+// under.
 type cacheEntry struct {
 	size    int64
 	modTime int64
-	fset    *token.FileSet
+	hash    [sha256.Size]byte
 	ast     *ast.File
 	err     error
 }
 
-// astCache memoizes parses by path, invalidated by (size, mtime).
-// prooflint parses each file once per run regardless of how many
-// patterns or analyzers touch it, and long-lived callers (tests, a
-// future watch mode) reparse only files that changed.
+// astCache memoizes parses by path. The fast key is (size, mtime), but
+// correctness comes from a content hash: a same-size rewrite within the
+// mtime granularity (editors, CI checkouts restoring timestamps) still
+// invalidates, because the file bytes are read and hashed on every
+// lookup — cheap next to a parse, and the bytes feed the parser on a
+// miss anyway. All files share one FileSet so the type-aware tier can
+// type-check any subset of them together.
 type astCache struct {
-	mu sync.Mutex
-	m  map[string]*cacheEntry
+	fset *token.FileSet
+	mu   sync.Mutex
+	m    map[string]*cacheEntry
 }
 
-func newASTCache() *astCache { return &astCache{m: map[string]*cacheEntry{}} }
+func newASTCache() *astCache {
+	return &astCache{fset: token.NewFileSet(), m: map[string]*cacheEntry{}}
+}
 
 // parse returns the cached AST for path, parsing on miss or when the
-// file changed since the cached parse.
+// file content changed since the cached parse.
 func (c *astCache) parse(path string) (*token.FileSet, *ast.File, error) {
 	info, err := os.Stat(path)
 	if err != nil {
 		return nil, nil, err
 	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	hash := sha256.Sum256(src)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.m[path]; ok && e.size == info.Size() && e.modTime == info.ModTime().UnixNano() {
-		return e.fset, e.ast, e.err
+	if e, ok := c.m[path]; ok && e.hash == hash {
+		return c.fset, e.ast, e.err
 	}
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	f, err := parser.ParseFile(c.fset, path, src, parser.ParseComments)
 	c.m[path] = &cacheEntry{
 		size:    info.Size(),
 		modTime: info.ModTime().UnixNano(),
-		fset:    fset,
+		hash:    hash,
 		ast:     f,
 		err:     err,
 	}
-	return fset, f, err
+	return c.fset, f, err
 }
 
 // ---- loading ----
@@ -220,14 +256,34 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	sort.Strings(order)
 
+	// Package-parallel parsing: directories are independent (the cache
+	// is locked per lookup), and parsing dominates load time on a cold
+	// cache. Results keep the sorted order; the first error wins.
+	type result struct {
+		pkg *Package
+		err error
+	}
+	results := make([]result, len(order))
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i, dir := range order {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkg, err := l.loadDir(dir)
+			results[i] = result{pkg: pkg, err: err}
+		}(i, dir)
+	}
+	wg.Wait()
 	var pkgs []*Package
-	for _, dir := range order {
-		pkg, err := l.loadDir(dir)
-		if err != nil {
-			return nil, err
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
 		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
+		if res.pkg != nil {
+			pkgs = append(pkgs, res.pkg)
 		}
 	}
 	return pkgs, nil
@@ -240,7 +296,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &Package{Dir: filepath.ToSlash(dir)}
+	pkg := &Package{Dir: filepath.ToSlash(dir), loader: l}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
@@ -289,8 +345,12 @@ const ignorePrefix = "//lint:ignore"
 // parseIgnores indexes a file's //lint:ignore directives by line and
 // reports malformed ones as diagnostics from the "lint" pseudo
 // analyzer — a directive that silently fails to parse would silently
-// fail to suppress.
-func (f *File) parseIgnores(diags *[]Diagnostic) {
+// fail to suppress. known, when non-nil, is the set of analyzer names
+// the directive may legitimately reference: a directive naming an
+// unknown analyzer is reported (it suppresses nothing under that name,
+// which is usually a typo shadowing a real finding) but its known
+// names still suppress.
+func (f *File) parseIgnores(diags *[]Diagnostic, known map[string]bool) {
 	f.ignores = map[int]*ignoreDirective{}
 	for _, cg := range f.AST.Comments {
 		for _, c := range cg.List {
@@ -317,6 +377,13 @@ func (f *File) parseIgnores(diags *[]Diagnostic) {
 					dir.all = true
 					continue
 				}
+				if known != nil && !known[name] {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q (run prooflint -list for the suite)", name),
+					})
+				}
 				dir.analyzers[name] = true
 			}
 			f.ignores[pos.Line] = dir
@@ -337,29 +404,76 @@ func (f *File) suppressed(d Diagnostic) bool {
 
 // ---- running ----
 
+// knownAnalyzerNames is the vocabulary //lint:ignore directives may
+// reference: every analyzer in the full suite plus whatever subset is
+// actually running (tests run single analyzers with custom scopes).
+func knownAnalyzerNames(running []Analyzer) map[string]bool {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name()] = true
+	}
+	for _, a := range running {
+		known[a.Name()] = true
+	}
+	return known
+}
+
 // Run executes analyzers over pkgs and returns the surviving
 // diagnostics sorted by position. Suppression applies to analyzer
-// diagnostics only; malformed-directive diagnostics cannot be ignored.
+// diagnostics only; malformed-directive and unknown-analyzer
+// diagnostics cannot be ignored. Analyzers run concurrently (each
+// analyzer walks the files serially — several keep cross-file state —
+// but independent analyzers don't wait on each other); when any
+// analyzer is a ProgramAnalyzer, the packages are type-checked once
+// and the resulting Program (types, call graph, facts) is shared.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	var all []Diagnostic
+	known := knownAnalyzerNames(analyzers)
 	byPath := map[string]*File{}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			f.parseIgnores(&all)
+			f.parseIgnores(&all, known)
 			byPath[f.Path] = f
 		}
 	}
+
+	var prog *Program
 	for _, a := range analyzers {
-		var diags []Diagnostic
-		for _, pkg := range pkgs {
-			for _, f := range pkg.Files {
-				r := &Reporter{analyzer: a.Name(), file: f, diags: &diags}
-				a.Check(f, r)
+		if _, ok := a.(ProgramAnalyzer); ok {
+			var typeDiags []Diagnostic
+			prog = buildProgram(pkgs, &typeDiags)
+			all = append(all, typeDiags...)
+			break
+		}
+	}
+
+	perAnalyzer := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a Analyzer) {
+			defer wg.Done()
+			var diags []Diagnostic
+			if pa, ok := a.(ProgramAnalyzer); ok {
+				if prog != nil {
+					pa.CheckProgram(prog, &Reporter{analyzer: a.Name(), fset: prog.Fset, diags: &diags})
+				}
+			} else {
+				for _, pkg := range pkgs {
+					for _, f := range pkg.Files {
+						a.Check(f, &Reporter{analyzer: a.Name(), file: f, diags: &diags})
+					}
+				}
+				if fin, ok := a.(Finisher); ok {
+					fin.Finish(&Reporter{analyzer: a.Name(), diags: &diags})
+				}
 			}
-		}
-		if fin, ok := a.(Finisher); ok {
-			fin.Finish(&Reporter{analyzer: a.Name(), diags: &diags})
-		}
+			perAnalyzer[i] = diags
+		}(i, a)
+	}
+	wg.Wait()
+
+	for _, diags := range perAnalyzer {
 		for _, d := range diags {
 			if f, ok := byPath[filepath.ToSlash(d.Pos.Filename)]; ok && f.suppressed(d) {
 				continue
@@ -383,7 +497,8 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	return all
 }
 
-// All returns the full project analyzer suite in a stable order.
+// All returns the full project analyzer suite in a stable order: the
+// syntactic tier first, then the type-aware interprocedural tier.
 func All() []Analyzer {
 	return []Analyzer{
 		NewCtxFirst(),
@@ -392,5 +507,8 @@ func All() []Analyzer {
 		NewGoroutineTest(),
 		NewLockedCall(),
 		NewRetryCtx(),
+		NewCtxFlow(),
+		NewHotAlloc(),
+		NewLockOrder(),
 	}
 }

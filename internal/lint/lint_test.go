@@ -2,10 +2,14 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	goast "go/ast"
 	"os"
 	"path/filepath"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -67,12 +71,18 @@ func TestLockedCallGolden(t *testing.T) { runFixture(t, "lockedcall", NewLockedC
 
 func TestRetryCtxGolden(t *testing.T) { runFixture(t, "retryctx", NewRetryCtx()) }
 
-// TestAllAnalyzers locks the suite shape: six analyzers, unique
+func TestCtxFlowGolden(t *testing.T) { runFixture(t, "ctxflow", NewCtxFlow()) }
+
+func TestHotAllocGolden(t *testing.T) { runFixture(t, "hotalloc", NewHotAlloc()) }
+
+func TestLockOrderGolden(t *testing.T) { runFixture(t, "lockorder", NewLockOrder()) }
+
+// TestAllAnalyzers locks the suite shape: nine analyzers, unique
 // names, documented.
 func TestAllAnalyzers(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("All() = %d analyzers, want 6", len(all))
+	if len(all) != 9 {
+		t.Fatalf("All() = %d analyzers, want 9", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -270,5 +280,289 @@ func TestLoadErrorOnBadSyntax(t *testing.T) {
 	root := writeTree(t, map[string]string{"p/p.go": "package p func (((\n"})
 	if _, err := NewLoader().Load(filepath.Join(root, "p")); err == nil {
 		t.Fatal("want parse error")
+	}
+}
+
+// TestASTCacheContentHash is the regression for the fingerprint bug:
+// a rewrite that preserves both size and mtime (editor atomic-saves,
+// clock-granularity races) must still invalidate the entry, because
+// the cache keys on the content hash, not on stat metadata.
+func TestASTCacheContentHash(t *testing.T) {
+	root := writeTree(t, map[string]string{"p/p.go": "package p\n\nvar X = 1\n"})
+	path := filepath.Join(root, "p", "p.go")
+	c := newASTCache()
+	_, ast1, err := c.parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same byte count, different content; then pin mtime back so stat
+	// metadata is indistinguishable from the original.
+	if err := os.WriteFile(path, []byte("package p\n\nvar Y = 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, st.ModTime(), st.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Size() != st.Size() || !st2.ModTime().Equal(st.ModTime()) {
+		t.Fatalf("test setup failed to preserve stat metadata: %v/%v vs %v/%v",
+			st2.Size(), st2.ModTime(), st.Size(), st.ModTime())
+	}
+	_, ast2, err := c.parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast2 == ast1 {
+		t.Fatal("same-size same-mtime rewrite served from stale cache")
+	}
+	var name string
+	for _, d := range ast2.Decls {
+		if g, ok := d.(*goast.GenDecl); ok {
+			name = g.Specs[0].(*goast.ValueSpec).Names[0].Name
+		}
+	}
+	if name != "Y" {
+		t.Fatalf("reparsed AST declares %q, want Y", name)
+	}
+}
+
+// TestIgnoreMultipleAnalyzersOneLine covers one directive silencing
+// two analyzers whose findings land on the same line, in both the
+// line-above and same-line placements, with an unsuppressed twin
+// proving both analyzers actually fire on this shape.
+func TestIgnoreMultipleAnalyzersOneLine(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": `package p
+
+import (
+	"context"
+	"fmt"
+)
+
+// SuppressedAbove mints a root context and formats on a hot path.
+//
+//lint:hotpath
+func SuppressedAbove(ctx context.Context) string {
+	//lint:ignore ctxflow,hotalloc fixture: both findings share this line
+	return fmt.Sprint(context.Background())
+}
+
+// SuppressedSameLine carries the directive on the finding line.
+//
+//lint:hotpath
+func SuppressedSameLine(ctx context.Context) string {
+	return fmt.Sprint(context.Background()) //lint:ignore ctxflow,hotalloc fixture
+}
+
+// Live keeps both analyzers honest: same shape, no directive.
+//
+//lint:hotpath
+func Live(ctx context.Context) string {
+	return fmt.Sprint(context.Background())
+}
+`,
+	})
+	pkgs, err := NewLoader().Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{NewCtxFlow(), NewHotAlloc()})
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if !strings.Contains(d.Pos.String(), "p.go") {
+			t.Errorf("diagnostic outside fixture: %s", d)
+		}
+	}
+	if byAnalyzer["ctxflow"] != 1 || byAnalyzer["hotalloc"] != 1 || len(diags) != 2 {
+		for _, d := range diags {
+			t.Log(d)
+		}
+		t.Fatalf("per-analyzer counts = %v, want ctxflow:1 hotalloc:1 (Live only)", byAnalyzer)
+	}
+}
+
+// TestIgnoreUnknownAnalyzer asserts a directive naming a nonexistent
+// analyzer is reported (a typo there silently shadows a real finding)
+// while the known names on the same directive still suppress.
+func TestIgnoreUnknownAnalyzer(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": `package p
+
+import "time"
+
+//lint:ignore nosuchpass,ctxfirst fixture
+func Sleepy() { time.Sleep(1) }
+`,
+	})
+	pkgs, err := NewLoader().Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{NewCtxFirst(root)})
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the unknown-analyzer report", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lint" || !strings.Contains(d.Message, `unknown analyzer "nosuchpass"`) {
+		t.Fatalf("diagnostic = %s, want lint unknown-analyzer report", d)
+	}
+}
+
+// TestBaselineRoundTrip locks the baseline contract: multiset
+// matching, fresh findings surviving, stale entries surfaced, and
+// Format -> Parse being lossless for the keys.
+func TestBaselineRoundTrip(t *testing.T) {
+	mk := func(file, analyzer, msg string, line int) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer, Message: msg}
+		d.Pos.Filename = file
+		d.Pos.Line = line
+		return d
+	}
+	diags := []Diagnostic{
+		mk("a.go", "lockorder", "cycle A", 3),
+		mk("a.go", "lockorder", "cycle A", 9), // same key, different line
+		mk("b.go", "ctxflow", "fresh finding", 5),
+	}
+	base := ParseBaseline(FormatBaseline([]Diagnostic{
+		mk("a.go", "lockorder", "cycle A", 999), // line numbers are not part of the key
+		mk("c.go", "hotalloc", "long gone", 1),
+	}))
+	fresh, matched, stale := ApplyBaseline(diags, base)
+	if matched != 1 {
+		t.Errorf("matched = %d, want 1 (multiset: one entry absorbs one of two identical findings)", matched)
+	}
+	var freshKeys []string
+	for _, d := range fresh {
+		freshKeys = append(freshKeys, BaselineKey(d))
+	}
+	wantFresh := []string{
+		"a.go: lockorder: cycle A", // the second identical finding exceeds the allowance
+		"b.go: ctxflow: fresh finding",
+	}
+	sort.Strings(freshKeys)
+	if !slices.Equal(freshKeys, wantFresh) {
+		t.Errorf("fresh = %v, want %v", freshKeys, wantFresh)
+	}
+	if want := []string{"c.go: hotalloc: long gone"}; !slices.Equal(stale, want) {
+		t.Errorf("stale = %v, want %v", stale, want)
+	}
+	// An empty baseline passes everything through untouched.
+	fresh, matched, stale = ApplyBaseline(diags, ParseBaseline(FormatBaseline(nil)))
+	if len(fresh) != len(diags) || matched != 0 || len(stale) != 0 {
+		t.Errorf("empty baseline: fresh=%d matched=%d stale=%v", len(fresh), matched, stale)
+	}
+}
+
+// TestBaselineIgnoreInteraction asserts //lint:ignore runs first: a
+// suppressed finding never reaches the diagnostic stream, so it
+// neither consumes a baseline allowance nor appears in a regenerated
+// baseline.
+func TestBaselineIgnoreInteraction(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": `package p
+
+import "time"
+
+//lint:ignore ctxfirst fixture: suppressed before baselines apply
+func Quiet() { time.Sleep(1) }
+
+func Loud() { time.Sleep(1) }
+`,
+	})
+	pkgs, err := NewLoader().Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{NewCtxFirst(root)})
+	regenerated := string(FormatBaseline(diags))
+	if strings.Contains(regenerated, "Quiet") {
+		t.Error("suppressed finding leaked into the regenerated baseline")
+	}
+	if !strings.Contains(regenerated, "Loud") {
+		t.Error("live finding missing from the regenerated baseline")
+	}
+	fresh, matched, stale := ApplyBaseline(diags, ParseBaseline([]byte(regenerated)))
+	if len(fresh) != 0 || matched != 1 || len(stale) != 0 {
+		t.Errorf("self-baseline: fresh=%v matched=%d stale=%v, want clean pass", fresh, matched, stale)
+	}
+}
+
+// TestWriteSARIF checks the SARIF 2.1.0 envelope: schema, driver
+// rules from the analyzer suite, and one result per diagnostic with
+// 1-based physical locations.
+func TestWriteSARIF(t *testing.T) {
+	d := Diagnostic{Analyzer: "ctxflow", Message: "nil passed as context.Context"}
+	d.Pos.Filename = "internal/x/x.go"
+	d.Pos.Line = 12
+	d.Pos.Column = 3
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, []Diagnostic{d}, All()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("envelope = %s %s, want SARIF 2.1.0", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "prooflint" {
+		t.Errorf("driver = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(All()) {
+		t.Errorf("rules = %d, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(All()))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	loc := res.Locations[0].PhysicalLocation
+	if res.RuleID != "ctxflow" || res.Level != "warning" ||
+		loc.ArtifactLocation.URI != "internal/x/x.go" ||
+		loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Errorf("result = %+v", res)
 	}
 }

@@ -1,0 +1,438 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder extends lockedcall's intraprocedural lock tracking into a
+// cross-function lock-acquisition graph. Every sync.Mutex/RWMutex
+// acquisition is identified by the lock it names — a struct field
+// ("pkg.Type.mu"), an embedding type ("pkg.Type"), or a package-level
+// variable ("pkg.var") — deliberately instance-insensitive: two
+// instances of the same field locked in both orders by different
+// functions is exactly the AB/BA shape that deadlocks in production.
+// The analyzer records an edge A→B whenever B is acquired (directly,
+// or transitively through a callee's lock summary) while A is held,
+// then reports:
+//
+//   - cycles in the edge graph (A before B here, B before A there):
+//     a potential deadlock the moment both paths run concurrently;
+//   - acquisitions of a lock while an instance of it is already held:
+//     sync locks are not reentrant, so same-instance re-locking
+//     self-deadlocks and cross-instance nesting needs a documented
+//     global order.
+//
+// Deferred unlocks keep the lock held for the rest of the linear scan
+// (matching lockedcall's model); closure bodies are scanned as their
+// own functions with an empty held set, and goroutine launches do not
+// propagate the spawner's held set. RLock is treated like Lock:
+// read-read nesting cannot deadlock alone, but any cycle that mixes
+// in one writer can, and the edge graph cannot see future writers.
+type LockOrder struct{}
+
+// NewLockOrder returns the analyzer.
+func NewLockOrder() *LockOrder { return &LockOrder{} }
+
+// Name implements Analyzer.
+func (*LockOrder) Name() string { return "lockorder" }
+
+// Doc implements Analyzer.
+func (*LockOrder) Doc() string {
+	return "cross-function lock-acquisition graph with cycle detection (potential deadlocks)"
+}
+
+// Check implements Analyzer; lockorder works only at program scope.
+func (*LockOrder) Check(*File, *Reporter) {}
+
+// lockEdge is one observed ordering: to was acquired while from was
+// held.
+type lockEdge struct {
+	from, to         string
+	fromPath, toPath string // receiver expressions, for instance discrimination
+	via              string // callee FuncKey when the acquisition is transitive
+	pos              token.Pos
+}
+
+// CheckProgram implements ProgramAnalyzer.
+func (a *LockOrder) CheckProgram(prog *Program, r *Reporter) {
+	lo := &lockOrderPass{
+		prog:      prog,
+		summaries: map[*types.Func]map[string]bool{},
+	}
+	lo.buildSummaries()
+	for _, node := range prog.Graph.Funcs() {
+		lo.scanFunc(node)
+	}
+	lo.report(r)
+}
+
+type lockOrderPass struct {
+	prog *Program
+	// summaries maps each function to the lock identities it may
+	// acquire, directly or through callees (fixpoint over the call
+	// graph; closure bodies excluded — a closure defined here may
+	// never run here).
+	summaries map[*types.Func]map[string]bool
+	// adj holds the first edge observed for each (from, to) pair.
+	adj map[string]map[string]*lockEdge
+	// selfEdges are same-identity nested acquisitions, kept apart from
+	// the cycle graph.
+	selfEdges []*lockEdge
+}
+
+// ---- lock identification ----
+
+// syncLockKind classifies a resolved callee as a sync lock
+// acquisition ("lock"), release ("unlock"), or neither ("").
+func syncLockKind(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return "lock"
+	case "Unlock", "RUnlock":
+		return "unlock"
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// lockIdentity names the lock behind the receiver expression of a
+// sync lock call: "pkg.Type.field" for mutex fields, "pkg.Type" for
+// types embedding a mutex, "pkg.var" for package-level mutex
+// variables. Locals return "" (a function-scoped mutex cannot
+// participate in a cross-function ordering cycle).
+func (lo *lockOrderPass) lockIdentity(recv ast.Expr) string {
+	recv = ast.Unparen(recv)
+	tv, ok := lo.prog.Info.Types[recv]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	if named, ok := deref(tv.Type).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() != "sync" {
+			// x.Lock() through an embedded mutex: the embedding type is
+			// the lock.
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	switch e := recv.(type) {
+	case *ast.SelectorExpr:
+		owner, ok := deref(lo.typeOf(e.X)).(*types.Named)
+		if ok && owner.Obj().Pkg() != nil {
+			return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + e.Sel.Name
+		}
+	case *ast.Ident:
+		obj := lo.prog.Info.Uses[e]
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+func (lo *lockOrderPass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := lo.prog.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// lockCall decodes a call as a sync lock operation, returning its
+// kind, lock identity and receiver path.
+func (lo *lockOrderPass) lockCall(call *ast.CallExpr) (kind, id, path string) {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	callee, _ := resolveCallee(lo.prog.Info, call)
+	kind = syncLockKind(callee)
+	if kind == "" {
+		return "", "", ""
+	}
+	return kind, lo.lockIdentity(se.X), exprPath(se.X)
+}
+
+// ---- summaries ----
+
+// buildSummaries computes, to a fixpoint, the set of lock identities
+// each function may acquire.
+func (lo *lockOrderPass) buildSummaries() {
+	nodes := lo.prog.Graph.Funcs()
+	for _, node := range nodes {
+		direct := map[string]bool{}
+		walkSameFunc(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if kind, id, _ := lo.lockCall(call); kind == "lock" && id != "" {
+				direct[id] = true
+			}
+			return true
+		})
+		lo.summaries[node.Fn] = direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range nodes {
+			sum := lo.summaries[node.Fn]
+			for _, site := range node.Calls {
+				if site.InClosure {
+					continue
+				}
+				for _, callee := range site.Callees {
+					for id := range lo.summaries[callee] {
+						if !sum[id] {
+							sum[id] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- scanning ----
+
+type heldLock struct {
+	id   string
+	path string
+}
+
+func (lo *lockOrderPass) scanFunc(node *FuncNode) {
+	lo.scanBody(node.Decl.Body)
+}
+
+// scanBody walks one function (or closure) body in source order,
+// tracking the held set and recording ordering edges.
+func (lo *lockOrderPass) scanBody(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	var held []heldLock
+	deferred := map[*ast.CallExpr]bool{}
+	spawned := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lo.scanBody(n.Body) // a closure starts with nothing held
+			return false
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+			return true
+		case *ast.GoStmt:
+			spawned[n.Call] = true
+			return true
+		case *ast.CallExpr:
+			if deferred[n] || spawned[n] {
+				// Deferred unlocks hold to the end of the scan;
+				// spawned calls run on another goroutine.
+				return true
+			}
+			kind, id, path := lo.lockCall(n)
+			switch kind {
+			case "lock":
+				if id == "" {
+					return true
+				}
+				for _, h := range held {
+					lo.addEdge(&lockEdge{from: h.id, to: id, fromPath: h.path, toPath: path, pos: n.Pos()})
+				}
+				held = append(held, heldLock{id: id, path: path})
+				return true
+			case "unlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].id == id && (held[i].path == path || path == "") {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+				return true
+			}
+			// A plain call while holding locks pulls in the callee's
+			// transitive acquisitions.
+			if len(held) == 0 {
+				return true
+			}
+			callee, _ := resolveCallee(lo.prog.Info, n)
+			if callee == nil {
+				return true
+			}
+			for id := range lo.summaries[callee] {
+				for _, h := range held {
+					lo.addEdge(&lockEdge{from: h.id, to: id, fromPath: h.path, via: FuncKey(callee), pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (lo *lockOrderPass) addEdge(e *lockEdge) {
+	if e.from == e.to {
+		lo.selfEdges = append(lo.selfEdges, e)
+		return
+	}
+	if lo.adj == nil {
+		lo.adj = map[string]map[string]*lockEdge{}
+	}
+	if lo.adj[e.from] == nil {
+		lo.adj[e.from] = map[string]*lockEdge{}
+	}
+	if lo.adj[e.from][e.to] == nil {
+		lo.adj[e.from][e.to] = e
+	}
+}
+
+// ---- reporting ----
+
+func (lo *lockOrderPass) report(r *Reporter) {
+	lo.reportSelfEdges(r)
+	lo.reportCycles(r)
+}
+
+func (lo *lockOrderPass) reportSelfEdges(r *Reporter) {
+	seen := map[string]bool{}
+	for _, e := range lo.selfEdges {
+		pos := lo.prog.Fset.Position(e.pos)
+		key := pos.Filename + fmt.Sprint(pos.Line, e.from, e.via)
+		if seen[key] || !lo.prog.InScope(pos.Filename) {
+			continue
+		}
+		seen[key] = true
+		switch {
+		case e.via != "":
+			r.Report(e.pos, "call to %s may acquire %s while an instance is already held (sync locks are not reentrant; potential self-deadlock)", e.via, e.from)
+		case e.fromPath == e.toPath && e.fromPath != "":
+			r.Report(e.pos, "lock %s re-acquired while held (self-deadlock: sync locks are not reentrant)", e.from)
+		default:
+			r.Report(e.pos, "two %s instances locked at once; instances of one lock need a fixed acquisition order (potential deadlock)", e.from)
+		}
+	}
+}
+
+// reportCycles finds cycles in the ordering graph and reports each
+// once, anchored at its first in-scope edge.
+func (lo *lockOrderPass) reportCycles(r *Reporter) {
+	var ids []string
+	for from := range lo.adj {
+		ids = append(ids, from)
+	}
+	sort.Strings(ids)
+	reported := map[string]bool{}
+	for _, start := range ids {
+		lo.findCycles(start, start, []string{start}, map[string]bool{start: true}, reported, r)
+	}
+}
+
+// findCycles DFS-walks the edge graph looking for paths back to
+// start; the canonical sorted id set deduplicates rotations.
+func (lo *lockOrderPass) findCycles(start, cur string, path []string, onPath map[string]bool, reported map[string]bool, r *Reporter) {
+	var nexts []string
+	for to := range lo.adj[cur] {
+		nexts = append(nexts, to)
+	}
+	sort.Strings(nexts)
+	for _, to := range nexts {
+		if to == start && len(path) > 1 {
+			lo.reportCycle(append(path, start), reported, r)
+			continue
+		}
+		// Only explore ids > start so each cycle is found from its
+		// smallest member exactly once.
+		if onPath[to] || to < start {
+			continue
+		}
+		onPath[to] = true
+		lo.findCycles(start, to, append(path, to), onPath, reported, r)
+		delete(onPath, to)
+	}
+}
+
+func (lo *lockOrderPass) reportCycle(cycle []string, reported map[string]bool, r *Reporter) {
+	canon := append([]string(nil), cycle[:len(cycle)-1]...)
+	sort.Strings(canon)
+	key := fmt.Sprint(canon)
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+
+	edges := make([]*lockEdge, 0, len(cycle)-1)
+	for i := 0; i+1 < len(cycle); i++ {
+		edges = append(edges, lo.adj[cycle[i]][cycle[i+1]])
+	}
+	anchor := -1
+	for i, e := range edges {
+		if lo.prog.InScope(lo.prog.Fset.Position(e.pos).Filename) {
+			anchor = i
+			break
+		}
+	}
+	if anchor < 0 {
+		return // entirely in dependency code; not this run's business
+	}
+	e := edges[anchor]
+	desc := fmt.Sprintf("%s acquired before %s", e.from, e.to)
+	if e.via != "" {
+		desc += fmt.Sprintf(" (via call to %s)", e.via)
+	}
+	var others []string
+	for i, o := range edges {
+		if i == anchor {
+			continue
+		}
+		p := lo.prog.Fset.Position(o.pos)
+		others = append(others, fmt.Sprintf("%s before %s at %s:%d", o.from, o.to, p.Filename, p.Line))
+	}
+	r.Report(e.pos, "lock ordering cycle: %s here, but %s (potential deadlock; acquire in one fixed order)", desc, joinAnd(others))
+}
+
+func joinAnd(parts []string) string {
+	switch len(parts) {
+	case 0:
+		return ""
+	case 1:
+		return parts[0]
+	}
+	last := parts[len(parts)-1]
+	rest := parts[:len(parts)-1]
+	out := ""
+	for i, p := range rest {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out + " and " + last
+}

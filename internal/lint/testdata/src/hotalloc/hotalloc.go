@@ -1,0 +1,66 @@
+// Package hotalloc is a prooflint fixture: allocation flagging on
+// //lint:hotpath routes through the call graph.
+package hotalloc
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+//lint:hotpath fixture: latency-critical kernel
+func Hot(n int) float64 {
+	p := &point{x: 1}
+	s := make([]float64, 0)
+	for i := 0; i < n; i++ {
+		s = append(s, float64(i))
+	}
+	_ = fmt.Sprintf("%d", n)
+	return p.x + s[0]
+}
+
+//lint:hotpath fixture: transitive root
+func HotRoot(n int) int {
+	return helper(n)
+}
+
+// helper is reached transitively from HotRoot; it carries no
+// directive of its own.
+func helper(n int) int {
+	m := map[int]int{}
+	m[n] = n
+	return len(m)
+}
+
+// cold is unreachable from any hot root: its allocations are fine.
+func cold() []int {
+	return []int{1, 2, 3}
+}
+
+//lint:hotpath fixture: string handling
+func HotStrings(a, b string) string {
+	c := a + b
+	d := []byte(c)
+	return string(d)
+}
+
+func take(v any) { _ = v }
+
+//lint:hotpath fixture: interface boxing
+func HotBox(n int) {
+	take(n)
+	take(&n)
+	go spin()
+}
+
+func spin() {}
+
+//lint:hotpath fixture: closures allocate
+func HotClosure(n int) func() int {
+	return func() int { return n }
+}
+
+//lint:hotpath fixture: suppression interplay
+func HotIgnored(n int) []int {
+	//lint:ignore hotalloc preallocated once at startup, measured free
+	buf := make([]int, n)
+	return buf
+}

@@ -1,0 +1,105 @@
+// Package lockorder is a prooflint fixture: cross-function
+// lock-ordering cycles and non-reentrant re-acquisition.
+package lockorder
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+var (
+	A a
+	B b
+)
+
+// lockAB acquires a.mu before b.mu.
+func lockAB() {
+	A.mu.Lock()
+	defer A.mu.Unlock()
+	B.mu.Lock()
+	B.mu.Unlock()
+}
+
+// lockBA acquires them in the reverse order: the AB/BA deadlock shape.
+func lockBA() {
+	B.mu.Lock()
+	defer B.mu.Unlock()
+	A.mu.Lock()
+	A.mu.Unlock()
+}
+
+type c struct{ mu sync.Mutex }
+
+type d struct{ mu sync.Mutex }
+
+var (
+	C c
+	D d
+)
+
+// lockCviaCall holds c.mu across a call that acquires d.mu.
+func lockCviaCall() {
+	C.mu.Lock()
+	defer C.mu.Unlock()
+	grabD()
+}
+
+func grabD() {
+	D.mu.Lock()
+	D.mu.Unlock()
+}
+
+// lockDC closes the transitive cycle directly.
+func lockDC() {
+	D.mu.Lock()
+	defer D.mu.Unlock()
+	C.mu.Lock()
+	C.mu.Unlock()
+}
+
+type once struct{ mu sync.Mutex }
+
+// relock re-acquires the same instance: guaranteed self-deadlock.
+func (o *once) relock() {
+	o.mu.Lock()
+	o.mu.Lock()
+	o.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// merge nests two instances of one lock with no global order.
+func merge(x, y *once) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+type registry struct{ sync.Mutex }
+
+var reg registry
+
+// regThenA orders the embedded registry lock before a.mu.
+func regThenA() {
+	reg.Lock()
+	defer reg.Unlock()
+	A.mu.Lock()
+	A.mu.Unlock()
+}
+
+// aThenReg reverses it.
+func aThenReg() {
+	A.mu.Lock()
+	defer A.mu.Unlock()
+	reg.Lock()
+	reg.Unlock()
+}
+
+// sequential never overlaps: no edges, no findings.
+func sequential() {
+	A.mu.Lock()
+	A.mu.Unlock()
+	B.mu.Lock()
+	B.mu.Unlock()
+}

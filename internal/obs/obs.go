@@ -178,8 +178,11 @@ type Span struct {
 }
 
 // startSpan creates and registers a child of parent (nil = root).
+// Only the enabled path reaches it, so its one allocation is the
+// price of tracing, not of the noop path.
 func (t *Tracer) startSpan(name string, parent *Span) *Span {
 	start := t.clock().Sub(t.began)
+	//lint:ignore hotalloc one Span per started span is the enabled-tracing cost
 	s := &Span{tracer: t, parent: parent, name: name, start: start}
 	t.mu.Lock()
 	t.lastID++
@@ -207,6 +210,8 @@ func (t *Tracer) startSpan(name string, parent *Span) *Span {
 }
 
 // ID returns the span's trace-unique ID (0 for a nil span).
+//
+//lint:hotpath
 func (s *Span) ID() uint64 {
 	if s == nil {
 		return 0
@@ -215,6 +220,8 @@ func (s *Span) ID() uint64 {
 }
 
 // SetAttr attaches a string attribute.
+//
+//lint:hotpath
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
@@ -223,6 +230,8 @@ func (s *Span) SetAttr(key, value string) {
 }
 
 // SetAttrInt attaches an integer attribute.
+//
+//lint:hotpath
 func (s *Span) SetAttrInt(key string, v int64) {
 	if s == nil {
 		return
@@ -232,6 +241,8 @@ func (s *Span) SetAttrInt(key string, v int64) {
 
 // SetError records err as the span's error status (nil err is
 // ignored; the first non-nil error wins).
+//
+//lint:hotpath
 func (s *Span) SetError(err error) {
 	if s == nil || err == nil || s.err != nil {
 		return
@@ -240,6 +251,8 @@ func (s *Span) SetError(err error) {
 }
 
 // End finishes the span, publishing it to the tracer. Idempotent.
+//
+//lint:hotpath
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -282,6 +295,8 @@ func (s *Span) End() {
 
 // EndErr records err (if non-nil) and ends the span — the one-liner
 // for `return result, err` sites.
+//
+//lint:hotpath
 func (s *Span) EndErr(err error) {
 	s.SetError(err)
 	s.End()
@@ -303,6 +318,8 @@ func WithTracer(ctx context.Context, t *Tracer) context.Context {
 
 // TracerFrom returns the tracer governing ctx (via the current span or
 // a WithTracer installation), or nil.
+//
+//lint:hotpath
 func TracerFrom(ctx context.Context) *Tracer {
 	if s, ok := ctx.Value(spanCtxKey{}).(*Span); ok && s != nil {
 		return s.tracer
@@ -312,6 +329,8 @@ func TracerFrom(ctx context.Context) *Tracer {
 }
 
 // SpanFrom returns the current span, or nil.
+//
+//lint:hotpath
 func SpanFrom(ctx context.Context) *Span {
 	s, _ := ctx.Value(spanCtxKey{}).(*Span)
 	return s
@@ -320,6 +339,8 @@ func SpanFrom(ctx context.Context) *Span {
 // Start begins a span named name as a child of the current span (or as
 // a root when none). When no tracer is installed, it returns ctx
 // unchanged and a nil span — the disabled path allocates nothing.
+//
+//lint:hotpath
 func Start(ctx context.Context, name string) (context.Context, *Span) {
 	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
 	var t *Tracer

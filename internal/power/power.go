@@ -105,9 +105,15 @@ type PeakRow struct {
 	PowerW float64
 }
 
-// PeakSweep measures the achieved roofline peak and power at each clock
-// pair — the Table 6 baseline.
+// PeakSweep is the context-free convenience form of PeakSweepCtx.
 func PeakSweep(platform string, dt graph.DataType, pairs [][2]int) ([]PeakRow, error) {
+	return PeakSweepCtx(context.Background(), platform, dt, pairs)
+}
+
+// PeakSweepCtx measures the achieved roofline peak and power at each
+// clock pair — the Table 6 baseline. The sweep checks ctx between
+// clock pairs via the peak test's own cancellation points.
+func PeakSweepCtx(ctx context.Context, platform string, dt graph.DataType, pairs [][2]int) ([]PeakRow, error) {
 	plat, err := hardware.Get(platform)
 	if err != nil {
 		return nil, err
@@ -115,7 +121,7 @@ func PeakSweep(platform string, dt graph.DataType, pairs [][2]int) ([]PeakRow, e
 	var rows []PeakRow
 	for _, pair := range pairs {
 		clk := hardware.Clocks{GPUMHz: pair[0], EMCMHz: pair[1], CPUMHz: 729, CPUClusters: 1}
-		peak, err := roofline.MeasurePeak(context.Background(), plat, dt, clk, 1)
+		peak, err := roofline.MeasurePeak(ctx, plat, dt, clk, 1)
 		if err != nil {
 			return nil, err
 		}

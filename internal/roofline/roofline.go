@@ -55,6 +55,8 @@ func NewModel(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks) M
 }
 
 // RidgeAI is the arithmetic intensity where the two ceilings meet.
+//
+//lint:hotpath
 func (m Model) RidgeAI() float64 {
 	if m.PeakBW == 0 {
 		return math.Inf(1)
@@ -66,6 +68,8 @@ func (m Model) RidgeAI() float64 {
 // intensity: min(peak, AI x BW). An infinite intensity sits under the
 // flat compute roof (guarding the Inf x 0 = NaN case when PeakBW is
 // also degenerate).
+//
+//lint:hotpath
 func (m Model) AttainableFLOPS(ai float64) float64 {
 	if math.IsInf(ai, 1) {
 		return m.PeakFLOPS
@@ -134,6 +138,8 @@ func (p Point) MarshalJSON() ([]byte, error) {
 // compute-bound — the bandwidth ceiling can never bind it. A point
 // with neither stays at the neutral "ridge" label: there is no work to
 // position against either ceiling.
+//
+//lint:hotpath
 func NewPoint(name string, flop, bytes int64, latency time.Duration, m Model) Point {
 	p := Point{Name: name, FLOP: flop, Bytes: bytes, Latency: latency}
 	sec := latency.Seconds()
@@ -162,6 +168,8 @@ func NewPoint(name string, flop, bytes int64, latency time.Duration, m Model) Po
 // line everything is under the compute roof ("compute"), and with
 // neither there is nothing to classify against ("ridge"). An infinite
 // intensity (zero memory traffic) is always compute-bound.
+//
+//lint:hotpath
 func (m Model) ClassifyBound(ai float64) string {
 	switch {
 	case m.PeakFLOPS == 0 && m.PeakBW == 0:
@@ -185,6 +193,8 @@ func (m Model) ClassifyBound(ai float64) string {
 
 // Efficiency returns the point's attained fraction of the roofline
 // ceiling at its arithmetic intensity.
+//
+//lint:hotpath
 func (m Model) Efficiency(p Point) float64 {
 	ceiling := m.AttainableFLOPS(p.AI)
 	if ceiling == 0 {
@@ -202,6 +212,8 @@ type LayerWise struct {
 }
 
 // TotalLatency sums the layer latencies.
+//
+//lint:hotpath
 func (lw *LayerWise) TotalLatency() time.Duration {
 	var total time.Duration
 	for _, p := range lw.Points {
@@ -211,6 +223,8 @@ func (lw *LayerWise) TotalLatency() time.Duration {
 }
 
 // FillShares computes each point's latency share of the total.
+//
+//lint:hotpath
 func (lw *LayerWise) FillShares() {
 	total := lw.TotalLatency().Seconds()
 	if total == 0 {
@@ -238,6 +252,8 @@ func (lw *LayerWise) ShareByCategory() map[string]float64 {
 }
 
 // EndToEnd aggregates layers into a single whole-model point (Figure 4).
+//
+//lint:hotpath
 func (lw *LayerWise) EndToEnd(name string) Point {
 	var flop, bytes int64
 	for _, p := range lw.Points {

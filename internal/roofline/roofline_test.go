@@ -279,3 +279,31 @@ func TestMeasuredModel(t *testing.T) {
 		t.Error("measured peak cannot exceed theoretical")
 	}
 }
+
+// TestRooflineMathZeroAlloc is the ground truth behind the
+// //lint:hotpath annotations: the per-layer roofline math — point
+// construction, classification, efficiency and the layer-wise
+// aggregates — must not allocate, since a sweep evaluates it for
+// every backend layer of every profiled configuration.
+func TestRooflineMathZeroAlloc(t *testing.T) {
+	m := a100Model(t)
+	lw := &LayerWise{Model: m, Points: make([]Point, 0, 8)}
+	for i := 0; i < 8; i++ {
+		lw.Points = append(lw.Points,
+			NewPoint("layer", int64(1e9+i), 1e6, time.Millisecond, m))
+	}
+	var sink float64
+	n := testing.AllocsPerRun(200, func() {
+		p := NewPoint("layer", 2e9, 3e6, 2*time.Millisecond, m)
+		sink = m.Efficiency(p) + m.AttainableFLOPS(p.AI) + m.RidgeAI()
+		if m.ClassifyBound(p.AI) == "" {
+			t.Fatal("ClassifyBound returned empty")
+		}
+		lw.FillShares()
+		e2e := lw.EndToEnd("model")
+		sink += e2e.FLOPS + lw.TotalLatency().Seconds()
+	})
+	if n != 0 {
+		t.Fatalf("roofline math allocates %v per op, want 0 (sink %v)", n, sink)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -78,22 +79,30 @@ func (s *Server) persistReport(report *core.Report, data []byte) {
 	s.histW.Enqueue(histstore.MetaFromReport(report, s.gitRev, time.Now()), data)
 }
 
-// FlushHistory blocks until every history record enqueued so far is on
-// disk (no-op without a store). Serve calls it on drain; tests call it
+// FlushHistory blocks until every history record enqueued so far is
+// on disk or ctx expires (no-op without a store). Tests call it
 // before asserting store contents.
-func (s *Server) FlushHistory() {
+func (s *Server) FlushHistory(ctx context.Context) error {
 	if s.histW != nil {
-		s.histW.Flush()
+		return s.histW.Flush(ctx)
 	}
+	return nil
 }
 
 // closeHistory drains and stops the async writer (the store itself
-// belongs to the caller who opened it).
+// belongs to the caller who opened it), bounded by the shutdown
+// timeout so a wedged disk cannot hang Serve's return.
 func (s *Server) closeHistory() {
-	if s.histW != nil {
-		if err := s.histW.Close(); err != nil {
-			s.log.Error("history writer close failed", "err", err.Error())
-		}
+	if s.histW == nil {
+		return
+	}
+	// Detached deadline: closeHistory runs after the serve ctx is
+	// already canceled.
+	//lint:ignore ctxflow the serve ctx is already canceled at this point
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	if err := s.histW.Close(ctx); err != nil {
+		s.log.Error("history writer close failed", "err", err.Error())
 	}
 }
 

@@ -66,7 +66,7 @@ func TestHistoryDifferentialByteIdentity(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("profile status = %d (body %s)", resp.StatusCode, served)
 	}
-	srv.FlushHistory()
+	srv.FlushHistory(context.Background())
 
 	entries, total, err := st.Query(histstore.Query{Model: "mobilenetv2-0.5"})
 	if err != nil || total != 1 {
@@ -125,7 +125,7 @@ func TestHistoryOnlyMissesPersisted(t *testing.T) {
 			t.Fatalf("request %d status = %d", i, resp.StatusCode)
 		}
 	}
-	srv.FlushHistory()
+	srv.FlushHistory(context.Background())
 	if _, total, _ := st.Query(histstore.Query{}); total != 1 {
 		t.Fatalf("3 requests (1 miss + 2 hits) stored %d records, want 1", total)
 	}
@@ -321,7 +321,7 @@ func TestHealthzStoreStatus(t *testing.T) {
 			`{"model":"mobilenetv2-0.5","platform":"a100","batch":2}`)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		srv.FlushHistory()
+		srv.FlushHistory(context.Background())
 
 		var hr HealthzResponse
 		hresp, err := http.Get(ts.URL + "/healthz")

@@ -906,6 +906,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 	s.draining.Store(true)
 	s.log.Info("draining", "timeout", s.cfg.ShutdownTimeout.String())
+	// The drain deadline must be detached: the serve ctx is already
+	// canceled — it is the reason we are shutting down.
+	//lint:ignore ctxflow drain deadline outlives the canceled serve ctx
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {

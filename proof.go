@@ -407,12 +407,18 @@ func TuneClocks(platform, model string, batch int, dt DataType, budgetW, affecte
 	return power.Tune(platform, model, batch, dt, budgetW, affectedThreshold)
 }
 
-// MeasurePeak measures the achieved roofline peak of a platform with
-// the §4.6 pseudo model (MatMul and memory-copy operators).
+// MeasurePeak is the context-free convenience form of MeasurePeakCtx.
 func MeasurePeak(platform string, dt DataType, clk Clocks) (PeakResult, error) {
+	return MeasurePeakCtx(context.Background(), platform, dt, clk)
+}
+
+// MeasurePeakCtx measures the achieved roofline peak of a platform
+// with the §4.6 pseudo model (MatMul and memory-copy operators),
+// honoring ctx cancellation between pseudo-model stages.
+func MeasurePeakCtx(ctx context.Context, platform string, dt DataType, clk Clocks) (PeakResult, error) {
 	plat, err := hardware.Get(platform)
 	if err != nil {
 		return PeakResult{}, err
 	}
-	return roofline.MeasurePeak(context.Background(), plat, dt, clk, 1)
+	return roofline.MeasurePeak(ctx, plat, dt, clk, 1)
 }
