@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-sarif lint-baseline bench-serving bench-sweep
+.PHONY: build test lint lint-sarif lint-baseline bench-serving bench-sweep bench-roofline
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,10 @@ bench-serving:
 # if the warm memoized sweep is less than 5x faster than unmemoized.
 bench-sweep:
 	$(GO) test ./internal/core -run TestWriteSweepBenchArtifact -bench-out=$(CURDIR)/BENCH_sweep.json
+
+# bench-roofline regenerates BENCH_roofline.json: ns/op and allocs/op
+# for the roofline hot path (point construction, bound classification,
+# the full layer->point mapping pass over a built engine). The writer
+# fails if any of the pinned paths allocates; ns/op moves with the host.
+bench-roofline:
+	$(GO) test ./internal/core -run TestWriteRooflineBenchArtifact -roofline-bench-out=$(CURDIR)/BENCH_roofline.json

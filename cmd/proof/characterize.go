@@ -1,0 +1,92 @@
+// The `proof characterize` subcommand runs the hardware
+// characterization protocol (internal/hardware/characterize) against
+// one or all platforms and writes the resulting calibration file —
+// the committed internal/hardware/calibration.json that the roofline
+// ceilings embed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"proof"
+)
+
+func runCharacterize(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("proof characterize", flag.ExitOnError)
+	var (
+		out      = fs.String("out", "internal/hardware/calibration.json", "write the calibration file to this path (- for stdout)")
+		platform = fs.String("platform", "", "characterize only this platform and print its calibration (no file written)")
+		verbose  = fs.Bool("v", false, "print each probe measurement")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: proof characterize [-platform key] [-out path]\n\n"+
+			"Runs the micro-benchmark characterization protocol (MatMul ladder,\n"+
+			"strided-copy sweep, kernel-launch ladder) through each platform's\n"+
+			"backend and derives its achievable roofline ceilings.\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	opts := proof.CharacterizeOptions{}
+
+	if *platform != "" {
+		res, err := proof.CharacterizePlatform(ctx, *platform, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proof characterize: %v\n", err)
+			os.Exit(1)
+		}
+		printProbes(res, *verbose)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Calibration); err != nil {
+			fmt.Fprintf(os.Stderr, "proof characterize: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	file, results, err := proof.CharacterizeAll(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proof characterize: %v\n", err)
+		os.Exit(1)
+	}
+	for _, res := range results {
+		printProbes(res, *verbose)
+	}
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proof characterize: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "proof characterize: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("characterized %d platforms -> %s\n", len(results), *out)
+}
+
+func printProbes(res *proof.CharacterizeResult, verbose bool) {
+	if !verbose {
+		return
+	}
+	for _, pr := range res.Probes {
+		switch pr.Kind {
+		case "launch":
+			fmt.Printf("%-10s %-8s overhead %.2f us\n", res.Platform, pr.Kind, pr.Rate*1e6)
+		case "copy", "issue":
+			fmt.Printf("%-10s %-8s gpu=%-4d emc=%-4d %.2f GB/s\n",
+				res.Platform, pr.Kind, pr.GPUMHz, pr.EMCMHz, pr.Rate/1e9)
+		default: // compute:<dtype>
+			fmt.Printf("%-10s %-8s %-5s %.3f TFLOP/s\n", res.Platform, pr.Kind, pr.DType, pr.Rate/1e12)
+		}
+	}
+}

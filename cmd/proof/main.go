@@ -26,6 +26,13 @@ import (
 )
 
 func main() {
+	// Subcommands dispatch before the flat-flag CLI parses anything.
+	if len(os.Args) > 1 && os.Args[1] == "characterize" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		runCharacterize(ctx, os.Args[2:])
+		return
+	}
 	var (
 		model        = flag.String("model", "", "model zoo key (see -list-models)")
 		modelFile    = flag.String("model-file", "", "path to a model file: .onnx protobuf or JSON (overrides -model)")

@@ -202,12 +202,25 @@ func (e *Engine) Profile(seed uint64) (*Profile, error) {
 // records (compute/memory split, actual traffic) in execution order —
 // the ground-truth execution internal/ncusim measures.
 func (e *Engine) Timings(seed uint64) []sim.Timing {
+	return e.TimingsInto(nil, seed)
+}
+
+// TimingsInto is the allocation-free form of Timings: it simulates into
+// dst's backing array when the capacity suffices (growing it otherwise)
+// and returns the filled slice. The per-request profiling hot path
+// pools these buffers across requests.
+//
+//lint:hotpath
+func (e *Engine) TimingsInto(dst []sim.Timing, seed uint64) []sim.Timing {
 	cfg := e.simConfig(seed)
-	out := make([]sim.Timing, len(e.layers))
-	for i, l := range e.layers {
-		out[i] = sim.SimulateLayer(l.work, cfg)
+	if cap(dst) < len(e.layers) {
+		dst = make([]sim.Timing, len(e.layers)) //lint:ignore hotalloc cold grow branch: runs once per engine per pool buffer; TestTimingsIntoZeroAlloc pins the warm path at 0 allocs/op
 	}
-	return out
+	dst = dst[:len(e.layers)]
+	for i, l := range e.layers {
+		dst[i] = sim.SimulateLayer(l.work, cfg)
+	}
+	return dst
 }
 
 // WorkKeys returns the per-layer canonical content keys in execution

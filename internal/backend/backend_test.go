@@ -363,3 +363,33 @@ func TestDTypeAffectsLatency(t *testing.T) {
 		t.Errorf("fp16 (%v) should be faster than fp32 (%v) on A100", p16.Total, p32.Total)
 	}
 }
+
+// TestTimingsIntoZeroAlloc holds the per-request hot path to its
+// //lint:hotpath contract: once a pooled buffer has been sized,
+// re-simulating an engine into it must not allocate — neither in
+// TimingsInto itself nor anywhere inside sim.SimulateLayer.
+func TestTimingsIntoZeroAlloc(t *testing.T) {
+	plat, _ := hardware.Get("a100")
+	rep := buildRep(t, "resnet-18", 4, graph.Float16)
+	be, _ := backend.Get("trtsim")
+	eng, err := be.Build(context.Background(), rep, backend.Config{Platform: plat, DType: graph.Float16, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := eng.TimingsInto(nil, 1)
+	if len(buf) == 0 {
+		t.Fatal("no layers simulated")
+	}
+	fresh := eng.Timings(1)
+	n := testing.AllocsPerRun(100, func() {
+		buf = eng.TimingsInto(buf, 1)
+	})
+	if n != 0 {
+		t.Errorf("TimingsInto allocates %v per run on a warm buffer, want 0", n)
+	}
+	for i := range buf {
+		if buf[i] != fresh[i] {
+			t.Fatalf("layer %d: reused-buffer timing %+v != fresh %+v", i, buf[i], fresh[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"proof/internal/analysis"
@@ -174,6 +175,11 @@ type Report struct {
 // interpose on the pipeline. Everything above the pipeline programs
 // against this type rather than the concrete function.
 type ProfileFunc func(context.Context, Options) (*Report, error)
+
+// timingsPool recycles the per-request simulation scratch: one
+// []sim.Timing per concurrent profile, reused via Engine.TimingsInto so
+// steady-state requests do not allocate timing slices at all.
+var timingsPool = sync.Pool{New: func() any { return new([]sim.Timing) }}
 
 // Profile runs the full PRoof pipeline.
 func Profile(opts Options) (*Report, error) {
@@ -400,9 +406,18 @@ func profilePipeline(ctx context.Context, opts Options, pipe *obs.Span) (*Report
 	if mp != nil {
 		return mp.finish(ctx, pipe, eng, mapping, opt, rep, report, rl, opts)
 	}
-	timings := eng.Timings(opts.Seed)
-	lw := &roofline.LayerWise{Model: rl}
-	for i, bl := range eng.Layers() {
+	// The timing scratch is pooled across requests and the per-layer
+	// report slices sized up front: the layer->point loop below is the
+	// per-request hot path (every profile, every sweep configuration)
+	// and must not grow anything inside the loop.
+	tbuf := timingsPool.Get().(*[]sim.Timing)
+	defer timingsPool.Put(tbuf)
+	timings := eng.TimingsInto(*tbuf, opts.Seed)
+	*tbuf = timings
+	layers := eng.Layers()
+	lw := &roofline.LayerWise{Model: rl, Points: make([]roofline.Point, 0, len(layers))}
+	report.Layers = make([]LayerReport, 0, len(layers))
+	for i, bl := range layers {
 		latency := prof.LayerLatency[bl.Name]
 		lr := LayerReport{Name: bl.Name, IsReformat: bl.IsReformat}
 		if i < len(timings) {
@@ -433,7 +448,9 @@ func profilePipeline(ctx context.Context, opts Options, pipe *obs.Span) (*Report
 		}
 
 		if layer := mapping[bl.Name]; layer != nil {
-			for _, n := range layer.OriginalNodes() {
+			nodes := layer.OriginalNodes()
+			lr.OriginalNodes = make([]string, 0, len(nodes))
+			for _, n := range nodes {
 				lr.OriginalNodes = append(lr.OriginalNodes, n.Name)
 			}
 			lr.OpTypes = layer.OpTypes()
@@ -445,6 +462,9 @@ func profilePipeline(ctx context.Context, opts Options, pipe *obs.Span) (*Report
 		p := roofline.NewPoint(bl.Name, flop, bytes, latency, rl)
 		p.Category = lr.Category
 		lr.Point = p
+		if len(bl.Kernels) > 0 {
+			lr.Kernels = make([]KernelReport, 0, len(bl.Kernels))
+		}
 		for _, k := range bl.Kernels {
 			lr.Kernels = append(lr.Kernels, KernelReport{
 				Name:    k.Name,

@@ -154,7 +154,8 @@ func (mp *memoPoint) assemble(plan *memo.Plan, opts Options) (*Report, bool) {
 		NodeCount: plan.NodeCount,
 		ParamsM:   plan.ParamsM,
 	}
-	lw := &roofline.LayerWise{Model: rl}
+	lw := &roofline.LayerWise{Model: rl, Points: make([]roofline.Point, 0, len(plan.Layers))}
+	report.Layers = make([]LayerReport, 0, len(plan.Layers))
 	timings := make([]sim.Timing, 0, len(plan.Layers))
 	var total time.Duration
 	for i, pl := range plan.Layers {
@@ -170,6 +171,9 @@ func (mp *memoPoint) assemble(plan *memo.Plan, opts Options) (*Report, bool) {
 		p := roofline.NewPoint(pl.Name, unit.FLOP, unit.Bytes, unit.Latency, rl)
 		p.Category = lr.Category
 		lr.Point = p
+		if len(pl.Kernels) > 0 {
+			lr.Kernels = make([]KernelReport, 0, len(pl.Kernels))
+		}
 		for _, k := range pl.Kernels {
 			lr.Kernels = append(lr.Kernels, KernelReport{
 				Name:    k.Name,
@@ -220,7 +224,8 @@ func (mp *memoPoint) finish(ctx context.Context, pipe *obs.Span, eng *backend.En
 		ParamsM:        report.ParamsM,
 		Layers:         make([]memo.PlanLayer, 0, len(layers)),
 	}
-	lw := &roofline.LayerWise{Model: rl}
+	lw := &roofline.LayerWise{Model: rl, Points: make([]roofline.Point, 0, len(layers))}
+	report.Layers = make([]LayerReport, 0, len(layers))
 	timings := make([]sim.Timing, 0, len(layers))
 	var total time.Duration
 	unitHits := 0
@@ -348,6 +353,7 @@ func finishReport(report *Report, lw *roofline.LayerWise, timings []sim.Timing, 
 			base := plat.DefaultClocks()
 			base.GPUCapacity = clk.GPUCapacity
 			base.CPUClusters = clk.CPUClusters
+			base.CPUMHz = clk.CPUMHz
 			clk = base
 		}
 		// Activity model: a GPU executing kernels draws most of its

@@ -1,0 +1,220 @@
+package hardware
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+
+	"proof/internal/graph"
+)
+
+// Calibration records the outcome of the characterization protocol
+// (internal/hardware/characterize): the achievable ceilings of one
+// platform as *measured* through its backend, instead of hand-tuned
+// efficiency factors. Regenerate with `proof characterize`; the result
+// is committed as calibration.json and embedded at build time.
+//
+// With a calibration attached, the analysis layer (roofline ceilings,
+// the Figure 8 bandwidth lines) derives everything from these measured
+// numbers plus the two free parameters in Free — the raw factors on
+// Platform remain only as the simulated silicon's ground truth, which
+// the protocol measures like a real profiler would.
+type Calibration struct {
+	// ComputeEff is the measured achievable fraction of the datasheet
+	// peak per data type (MatMul ladder, asymptotic sizes).
+	ComputeEff map[string]float64 `json:"compute_eff"`
+	// MemEff is the measured achievable fraction of the theoretical
+	// DRAM bandwidth at maximum clocks (strided-copy sweep).
+	MemEff float64 `json:"mem_eff"`
+	// MemEffPoints holds the per-EMC-step measured fractions for DVFS
+	// platforms (the copy sweep repeated at each selectable memory
+	// clock — Table 6's non-linear achieved-BW column). Empty for
+	// fixed-clock platforms.
+	MemEffPoints []EMCPoint `json:"mem_eff_points,omitempty"`
+	// IssueBWPerMHz is the measured GPU-clock-bound bandwidth cap
+	// (copy sweep at down-clocked GPU, divided by the clock). Zero
+	// when the copy rate did not scale with the GPU clock.
+	IssueBWPerMHz float64 `json:"issue_bw_per_mhz,omitempty"`
+	// KernelOverheadNS is the measured per-layer launch overhead
+	// (kernel-launch ladder of near-empty kernels).
+	KernelOverheadNS int64 `json:"kernel_overhead_ns"`
+	// Free holds the only remaining hand-tunable parameters.
+	Free FreeParams `json:"free"`
+}
+
+// EMCPoint is one measured bandwidth-efficiency sample of the copy
+// sweep: the achievable fraction of BWAt(EMCMHz) at that memory clock.
+type EMCPoint struct {
+	EMCMHz int     `json:"emc_mhz"`
+	Eff    float64 `json:"eff"`
+}
+
+// FreeParams are the ≤2 free parameters the characterization leaves
+// per platform: global scale corrections on the two derived ceilings,
+// 1.0 unless a deployment has reason to shade them.
+type FreeParams struct {
+	ComputeScale float64 `json:"compute_scale"`
+	MemScale     float64 `json:"mem_scale"`
+}
+
+// computeEff looks up the measured compute efficiency for a data type,
+// falling back to the fp32 entry for unlisted types (mirroring PeakAt's
+// fp32 fallback).
+func (c *Calibration) computeEff(dt graph.DataType) (float64, bool) {
+	if eff, ok := c.ComputeEff[dt.String()]; ok {
+		return eff, true
+	}
+	eff, ok := c.ComputeEff[graph.Float32.String()]
+	return eff, ok
+}
+
+// memEffAt interpolates the measured bandwidth efficiency at a memory
+// clock: piecewise-linear between the swept EMC steps, clamped at the
+// extremes. 0 (= default) and platforms without per-step samples use
+// the max-clock measurement.
+func (c *Calibration) memEffAt(emcMHz int) float64 {
+	pts := c.MemEffPoints
+	if emcMHz <= 0 || len(pts) == 0 {
+		return c.MemEff
+	}
+	if emcMHz <= pts[0].EMCMHz {
+		return pts[0].Eff
+	}
+	for i := 1; i < len(pts); i++ {
+		if emcMHz <= pts[i].EMCMHz {
+			lo, hi := pts[i-1], pts[i]
+			frac := float64(emcMHz-lo.EMCMHz) / float64(hi.EMCMHz-lo.EMCMHz)
+			return lo.Eff + frac*(hi.Eff-lo.Eff)
+		}
+	}
+	return pts[len(pts)-1].Eff
+}
+
+// ComputeCeiling returns the achievable FLOP/s ceiling for a data type
+// at the given clocks: the measured calibration when one is attached,
+// the hand-tuned MaxComputeEff factor otherwise. Power-gated TPCs
+// (Clocks.GPUCapacity) scale the ceiling in both paths.
+func (p *Platform) ComputeCeiling(dt graph.DataType, clk Clocks) float64 {
+	peak := p.PeakAt(dt, clk.GPUMHz) * clk.Capacity()
+	if c := p.Calibration; c != nil {
+		if eff, ok := c.computeEff(dt); ok {
+			return peak * eff * c.Free.ComputeScale
+		}
+	}
+	return peak * p.MaxComputeEff
+}
+
+// BWCeiling returns the achievable DRAM bandwidth ceiling at the given
+// clocks, capped by the GPU-clock-bound issue limit (Table 6 #1 vs #3:
+// a down-clocked GPU cannot issue transactions fast enough to saturate
+// DRAM). Uses the measured calibration when attached, the hand-tuned
+// factors otherwise.
+func (p *Platform) BWCeiling(clk Clocks) float64 {
+	dram := p.BWAt(clk.EMCMHz)
+	if c := p.Calibration; c != nil {
+		bw := dram * c.memEffAt(clk.EMCMHz) * c.Free.MemScale
+		if c.IssueBWPerMHz > 0 && clk.GPUMHz > 0 {
+			if limit := c.IssueBWPerMHz * float64(clk.GPUMHz) * clk.Capacity(); limit < bw {
+				bw = limit
+			}
+		}
+		return bw
+	}
+	bw := dram * p.MemEffAt(clk.EMCMHz)
+	if limit := p.IssueBWLimit(clk.GPUMHz) * clk.Capacity(); limit < bw {
+		bw = limit
+	}
+	return bw
+}
+
+// hashInto folds the calibration into the descriptor hash
+// (DescriptorHash) so memoized results can never outlive a
+// recalibration.
+func (c *Calibration) hashInto(h hash.Hash) {
+	keys := make([]string, 0, len(c.ComputeEff))
+	for k := range c.ComputeEff {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hashInt(h, int64(len(keys)))
+	for _, k := range keys {
+		hashStr(h, k)
+		hashFloat(h, c.ComputeEff[k])
+	}
+	hashFloat(h, c.MemEff)
+	hashInt(h, int64(len(c.MemEffPoints)))
+	for _, pt := range c.MemEffPoints {
+		hashInt(h, int64(pt.EMCMHz))
+		hashFloat(h, pt.Eff)
+	}
+	hashFloat(h, c.IssueBWPerMHz)
+	hashInt(h, c.KernelOverheadNS)
+	hashFloat(h, c.Free.ComputeScale)
+	hashFloat(h, c.Free.MemScale)
+}
+
+// CalibrationFile is the on-disk format of calibration.json: one
+// protocol version plus the per-platform measurement results.
+type CalibrationFile struct {
+	// Protocol names the characterization protocol revision that
+	// produced the file.
+	Protocol string `json:"protocol"`
+	// Platforms maps platform key to its measured calibration.
+	Platforms map[string]*Calibration `json:"platforms"`
+}
+
+//go:embed calibration.json
+var calibrationJSON []byte
+
+// loadCalibrations attaches the committed characterization results to
+// the registered platforms. Called explicitly at the end of platform
+// registration (init order within the package is filename-based, so an
+// init() here could run before the platforms exist). A calibration for
+// an unknown platform is registry drift and panics at startup.
+func loadCalibrations() {
+	var f CalibrationFile
+	if err := json.Unmarshal(calibrationJSON, &f); err != nil {
+		panic(fmt.Sprintf("hardware: corrupt embedded calibration.json: %v", err))
+	}
+	for key, c := range f.Platforms {
+		p, ok := platforms[key]
+		if !ok {
+			panic(fmt.Sprintf("hardware: calibration.json entry %q has no registered platform", key))
+		}
+		if c.Free.ComputeScale == 0 {
+			c.Free.ComputeScale = 1
+		}
+		if c.Free.MemScale == 0 {
+			c.Free.MemScale = 1
+		}
+		p.Calibration = c
+	}
+}
+
+// MemEffAt returns the achievable fraction of BWAt(emcMHz) in the
+// hand-tuned (ground truth) model: MaxMemEff scaled by the platform's
+// EMC efficiency curve. Real DRAM efficiency is not flat across memory
+// clocks — on the Orin NX the achieved fraction peaks near EMC 2133
+// (0.909 of theoretical) and collapses at 665 (0.713), Table 6 — so
+// platforms may carry a quadratic correction in EMCEffCurve.
+func (p *Platform) MemEffAt(emcMHz int) float64 {
+	return p.MaxMemEff * p.emcEffFactor(emcMHz)
+}
+
+// emcEffFactor evaluates the EMC efficiency curve a·x²+b·x+c at
+// x = emcMHz/EMCMaxMHz. A zero curve, a fixed-clock platform or the
+// default clock (0 = max) evaluate to 1.
+func (p *Platform) emcEffFactor(emcMHz int) float64 {
+	e := p.EMCEffCurve
+	if e == [3]float64{} || p.Clocks == nil || p.Clocks.EMCMaxMHz == 0 || emcMHz <= 0 {
+		return 1
+	}
+	x := float64(emcMHz) / float64(p.Clocks.EMCMaxMHz)
+	if x > 1 {
+		x = 1
+	}
+	return math.Max(0, e[0]*x*x+e[1]*x+e[2])
+}

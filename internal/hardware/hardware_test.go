@@ -1,6 +1,7 @@
 package hardware
 
 import (
+	"math"
 	"testing"
 
 	"proof/internal/graph"
@@ -100,7 +101,7 @@ func TestDefaultClocks(t *testing.T) {
 func TestPowerModelMatchesTable6(t *testing.T) {
 	p, _ := Get("orin-nx")
 	// Table 6 operating points (peak test, full utilization, one CPU
-	// cluster): clock pairs -> published watts.
+	// cluster at the paper's 729 MHz): clock pairs -> published watts.
 	cases := []struct {
 		gpu, emc int
 		want     float64
@@ -112,7 +113,7 @@ func TestPowerModelMatchesTable6(t *testing.T) {
 		{510, 665, 11.5},
 	}
 	for _, c := range cases {
-		got, err := p.EstimatePower(Clocks{GPUMHz: c.gpu, EMCMHz: c.emc, CPUClusters: 1}, 1, 1)
+		got, err := p.EstimatePower(Clocks{GPUMHz: c.gpu, EMCMHz: c.emc, CPUMHz: 729, CPUClusters: 1}, 1, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,6 +140,33 @@ func TestPowerMonotonicity(t *testing.T) {
 	}
 	if _, err := List()[0].EstimatePower(Clocks{}, 1, 1); err == nil {
 		t.Error("platform without power model should error")
+	}
+}
+
+// Regression: EstimatePower used to ignore clk.CPUMHz entirely, so
+// Table 7's 729 MHz cluster was priced the same as a max-clock one.
+func TestPowerScalesWithCPUClock(t *testing.T) {
+	p, _ := Get("orin-nx")
+	clk := Clocks{GPUMHz: 918, EMCMHz: 3199, CPUClusters: 1}
+	clk.CPUMHz = 729
+	low, _ := p.EstimatePower(clk, 1, 1)
+	clk.CPUMHz = p.Clocks.CPUMaxMHz
+	high, _ := p.EstimatePower(clk, 1, 1)
+	if !(low < high) {
+		t.Fatalf("CPU at 729 MHz must draw less than at %d MHz: %.3f vs %.3f W",
+			p.Clocks.CPUMaxMHz, low, high)
+	}
+	// The delta must be exactly the clock-ratio scaling of the
+	// per-cluster draw.
+	want := p.Power.CPUClusterW * (1 - 729.0/float64(p.Clocks.CPUMaxMHz))
+	if got := high - low; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CPU power delta = %.4f W, want %.4f W", got, want)
+	}
+	// CPUMHz 0 means default (maximum) clock.
+	clk.CPUMHz = 0
+	def, _ := p.EstimatePower(clk, 1, 1)
+	if def != high {
+		t.Errorf("CPUMHz 0 should price the default clock: %.4f vs %.4f W", def, high)
 	}
 }
 

@@ -126,6 +126,10 @@ type Platform struct {
 	// cycle, so down-clocking the GPU also lowers attained bandwidth
 	// (Table 6, #1 vs #3). Zero disables the cap.
 	IssueBWPerMHz float64
+	// EMCEffCurve optionally corrects MaxMemEff across memory clocks:
+	// quadratic coefficients {a, b, c} evaluated at x = emc/EMCMax
+	// (see MemEffAt). Zero means flat efficiency.
+	EMCEffCurve [3]float64
 	// TensorCore is non-nil for platforms with matrix units.
 	TensorCore *TensorCoreInfo
 	// DefaultDType and DefaultBatch are the paper's per-platform
@@ -137,6 +141,12 @@ type Platform struct {
 	Clocks *ClockDomains
 	// Power is non-nil when a power model is calibrated.
 	Power *PowerModel
+	// Calibration is non-nil once the characterization protocol has
+	// measured the platform (loaded from the embedded
+	// calibration.json; regenerate with `proof characterize`). The
+	// roofline analysis layer derives its ceilings from it instead of
+	// the raw Max*Eff factors.
+	Calibration *Calibration
 	// SupportedTypes optionally restricts model families (the NPU in
 	// §4.3 runs only a small portion of models); nil = all.
 	SupportedTypes map[string]bool
@@ -202,7 +212,14 @@ func (p *Platform) EstimatePower(clk Clocks, utilGPU, utilMem float64) (float64,
 	if clusters <= 0 {
 		clusters = 1
 	}
-	w += float64(clusters) * pm.CPUClusterW
+	// CPUClusterW is the per-cluster draw at CPUMaxMHz; a down-clocked
+	// cluster draws proportionally less (Table 7 runs at 729 of 1984
+	// MHz). 0 means default = maximum clock.
+	cpuW := float64(clusters) * pm.CPUClusterW
+	if p.Clocks != nil && p.Clocks.CPUMaxMHz > 0 && clk.CPUMHz > 0 {
+		cpuW *= float64(clk.CPUMHz) / float64(p.Clocks.CPUMaxMHz)
+	}
+	w += cpuW
 
 	gpuMax := 1.0
 	if p.Clocks != nil && p.Clocks.GPUMaxMHz > 0 && clk.GPUMHz > 0 {
@@ -306,6 +323,9 @@ func (p *Platform) DescriptorHash() string {
 	hashFloat(h, p.MaxComputeEff)
 	hashFloat(h, p.MaxMemEff)
 	hashFloat(h, p.IssueBWPerMHz)
+	hashFloat(h, p.EMCEffCurve[0])
+	hashFloat(h, p.EMCEffCurve[1])
+	hashFloat(h, p.EMCEffCurve[2])
 
 	if p.TensorCore != nil {
 		hashStr(h, p.TensorCore.Arch)
@@ -337,6 +357,12 @@ func (p *Platform) DescriptorHash() string {
 		hashFloat(h, pm.EMCIdleFrac)
 	} else {
 		hashStr(h, "no-power")
+	}
+
+	if c := p.Calibration; c != nil {
+		c.hashInto(h)
+	} else {
+		hashStr(h, "no-calibration")
 	}
 
 	types := make([]string, 0, len(p.SupportedTypes))
@@ -394,9 +420,17 @@ func (p *Platform) Supports(modelType string) bool {
 }
 
 // RidgeAI returns the arithmetic intensity (FLOP/byte) where the
-// roofline's compute and bandwidth ceilings meet, for the given dtype.
+// roofline's compute and bandwidth ceilings meet at maximum clocks,
+// for the given dtype. It uses the same achievable ceilings as
+// roofline.NewModel (one definition, cross-checked by test), and a
+// degenerate zero-bandwidth descriptor yields +Inf rather than leaking
+// NaN into reports.
 func (p *Platform) RidgeAI(dt graph.DataType) float64 {
-	return p.PeakAt(dt, 0) / p.MemBW
+	bw := p.BWCeiling(Clocks{})
+	if bw == 0 {
+		return math.Inf(1)
+	}
+	return p.ComputeCeiling(dt, Clocks{}) / bw
 }
 
 var platforms = map[string]*Platform{}

@@ -123,9 +123,15 @@ func init() {
 		// even with EMC at max — the SMs cannot issue transactions
 		// fast enough (105.7 MB/s per GPU MHz).
 		IssueBWPerMHz: 105.7e6,
-		TensorCore:    &TensorCoreInfo{Arch: "ampere", FLOPPerMMA: 4096},
-		DefaultDType:  graph.Float16,
-		DefaultBatch:  128,
+		// DRAM efficiency is not flat across EMC clocks: the achieved
+		// fraction peaks near EMC 2133 (62.031 of 68.28 GB/s = 0.909
+		// of theoretical, vs 0.858 at max) and collapses at 665
+		// (15.177 of 21.29 = 0.713) — Table 6 #2/#5. Quadratic fit
+		// through those rows at x = emc/3199, normalized to 1 at max.
+		EMCEffCurve:  [3]float64{-0.8534, 1.2442, 0.6092},
+		TensorCore:   &TensorCoreInfo{Arch: "ampere", FLOPPerMMA: 4096},
+		DefaultDType: graph.Float16,
+		DefaultBatch: 128,
 		Clocks: &ClockDomains{
 			GPUMaxMHz:     918,
 			GPUOptionsMHz: []int{114, 204, 306, 408, 510, 612, 714, 816, 918},
@@ -136,8 +142,11 @@ func init() {
 		// Calibrated against Table 6: 23.6 W at 918/3199 full load,
 		// 11.5 W at 510/665.
 		Power: &PowerModel{
-			StaticW:     2.0,
-			CPUClusterW: 0.7,
+			StaticW: 2.0,
+			// Per-cluster draw at CPUMaxMHz (1984); Table 7's
+			// operating points run the cluster at 729 MHz, where the
+			// clock scaling in EstimatePower prices it at 0.700 W.
+			CPUClusterW: 1.905,
 			GPUMaxW:     16.1,
 			GPUExp:      1.15,
 			EMCWPerMHz:  0.0015,
@@ -194,4 +203,9 @@ func init() {
 		// the OpenVINO NPU plugin handles CNN/MLP graphs only.
 		SupportedTypes: map[string]bool{"CNN": true, "MLP": true},
 	})
+
+	// Attach the committed characterization results last: loading
+	// validates every calibration.json entry against the registry
+	// above, so all platforms must already be registered.
+	loadCalibrations()
 }

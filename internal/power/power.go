@@ -160,7 +160,10 @@ func AnalyzeEMC(platform, model string, batch int, dt graph.DataType, candidates
 	}
 	var out []EMCAnalysis
 	for _, emc := range candidates {
-		line := plat.BWAt(emc) * plat.MaxMemEff
+		// Achievable bandwidth at the candidate clock (GPU at max):
+		// the same derivation as the roofline ceilings, so the Figure
+		// 8 lines and the chart's roof come from one model.
+		line := plat.BWCeiling(hardware.Clocks{EMCMHz: emc})
 		var affected float64
 		for _, l := range r.Layers {
 			if l.Point.Bandwidth > line {

@@ -49,6 +49,12 @@ func MeasurePeak(ctx context.Context, plat *hardware.Platform, dt graph.DataType
 		return PeakResult{}, err
 	}
 
+	// Rates come from the hardware counters (ActualHWFLOP,
+	// ActualBytes), as an NCU-style measurement would report them —
+	// not from the analytical per-layer totals. The counters are what
+	// the hardware actually executed and measured, so counter/latency
+	// is bias-free; model-total/latency would inherit the counters'
+	// content-dependent deviation as a systematic rate error.
 	works := eng.Works()
 	timings := eng.Timings(seed)
 	for i, w := range works {
@@ -58,11 +64,11 @@ func MeasurePeak(ctx context.Context, plat *hardware.Platform, dt graph.DataType
 			continue
 		}
 		if w.ModelFLOP > 0 {
-			if f := float64(w.ModelFLOP) / sec; f > res.FLOPS {
+			if f := float64(t.ActualHWFLOP) / sec; f > res.FLOPS {
 				res.FLOPS = f
 			}
 		} else if w.Bytes > 0 {
-			if b := float64(w.Bytes) / sec; b > res.BW {
+			if b := float64(t.ActualBytes) / sec; b > res.BW {
 				res.BW = b
 			}
 		}

@@ -42,13 +42,19 @@ type BWLine struct {
 }
 
 // NewModel builds the roofline ceilings for a platform, data type and
-// clock configuration (zero clocks = platform maximum).
+// clock configuration (zero clocks = platform maximum). The ceilings
+// come from the platform's achievable-ceiling derivation — measured
+// calibration when `proof characterize` has produced one, hand-tuned
+// factors otherwise — and the bandwidth roof is capped by the
+// GPU-clock-bound issue limit, matching what the simulated hardware
+// can actually attain at down-clocked configurations (Table 6 #1 vs
+// #3).
 func NewModel(plat *hardware.Platform, dt graph.DataType, clk hardware.Clocks) Model {
 	return Model{
 		Platform:         plat.Key,
 		DType:            dt.String(),
-		PeakFLOPS:        plat.PeakAt(dt, clk.GPUMHz) * plat.MaxComputeEff,
-		PeakBW:           plat.BWAt(clk.EMCMHz) * plat.MaxMemEff,
+		PeakFLOPS:        plat.ComputeCeiling(dt, clk),
+		PeakBW:           plat.BWCeiling(clk),
 		TheoreticalFLOPS: plat.PeakAt(dt, clk.GPUMHz),
 		TheoreticalBW:    plat.BWAt(clk.EMCMHz),
 	}

@@ -243,11 +243,11 @@ func TestMeasurePeakOrinMatchesTable6(t *testing.T) {
 		tolFLOPS float64
 		tolBW    float64
 	}{
-		{918, 3199, 13.620, 87.879, 0.10, 0.10},
-		{918, 2133, 13.601, 62.031, 0.10, 0.25},
-		{510, 3199, 7.433, 54.002, 0.10, 0.35},
-		{510, 2133, 7.426, 53.017, 0.10, 0.35},
-		{510, 665, 7.359, 15.177, 0.35, 0.30},
+		{918, 3199, 13.620, 87.879, 0.05, 0.05},
+		{918, 2133, 13.601, 62.031, 0.05, 0.05},
+		{510, 3199, 7.433, 54.002, 0.05, 0.05},
+		{510, 2133, 7.426, 53.017, 0.05, 0.05},
+		{510, 665, 7.359, 15.177, 0.05, 0.05},
 	}
 	for _, c := range cases {
 		clk := hardware.Clocks{GPUMHz: c.gpu, EMCMHz: c.emc, CPUClusters: 1}
@@ -305,5 +305,54 @@ func TestRooflineMathZeroAlloc(t *testing.T) {
 	})
 	if n != 0 {
 		t.Fatalf("roofline math allocates %v per op, want 0 (sink %v)", n, sink)
+	}
+}
+
+// Regression: NewModel used to ignore Platform.IssueBWLimit entirely,
+// while the simulated hardware caps its attainable bandwidth with it —
+// so at reduced GPU clocks the chart's bandwidth roof sat far above
+// anything the simulator could reach (Table 6 #1 vs #3: same EMC,
+// ~40% less achieved bandwidth at 510 MHz).
+func TestNewModelAppliesIssueBWLimit(t *testing.T) {
+	plat, _ := hardware.Get("orin-nx")
+	full := NewModel(plat, graph.Float16, hardware.Clocks{GPUMHz: 918, EMCMHz: 3199})
+	down := NewModel(plat, graph.Float16, hardware.Clocks{GPUMHz: 510, EMCMHz: 3199})
+	limit := plat.IssueBWLimit(510)
+	if down.PeakBW > limit*1.001 {
+		t.Errorf("PeakBW at 510 MHz = %.1f GB/s, must be issue-capped at %.1f GB/s",
+			down.PeakBW/1e9, limit/1e9)
+	}
+	// The cap must actually bind: well below the DRAM-side ceiling.
+	if down.PeakBW > full.PeakBW*0.75 {
+		t.Errorf("down-clocked PeakBW %.1f GB/s not clearly below full %.1f GB/s",
+			down.PeakBW/1e9, full.PeakBW/1e9)
+	}
+	// GPUCapacity scales the cap too (the power-gated "15W" profile).
+	gated := NewModel(plat, graph.Float16, hardware.Clocks{GPUMHz: 510, EMCMHz: 3199, GPUCapacity: 0.5})
+	if rel := gated.PeakBW / (down.PeakBW * 0.5); rel < 0.999 || rel > 1.001 {
+		t.Errorf("half-capacity PeakBW = %.1f GB/s, want half of %.1f",
+			gated.PeakBW/1e9, down.PeakBW/1e9)
+	}
+}
+
+// Regression: hardware.Platform.RidgeAI used to divide theoretical
+// peaks (no efficiency factors, no zero guard) while Model.RidgeAI
+// divides the achievable ceilings — two ridge definitions that
+// disagreed on every platform. There is one definition now.
+func TestPlatformRidgeAIMatchesModel(t *testing.T) {
+	for _, plat := range hardware.List() {
+		for _, dt := range []graph.DataType{graph.Float32, graph.Float16, graph.Int8} {
+			want := NewModel(plat, dt, hardware.Clocks{}).RidgeAI()
+			if got := plat.RidgeAI(dt); got != want {
+				t.Errorf("%s/%s: Platform.RidgeAI = %.3f, Model.RidgeAI = %.3f",
+					plat.Key, dt, got, want)
+			}
+		}
+	}
+	// A degenerate platform with no memory system must not leak
+	// NaN/Inf arithmetic: the ridge is defined as +Inf.
+	degenerate := &hardware.Platform{}
+	if r := degenerate.RidgeAI(graph.Float32); !math.IsInf(r, 1) {
+		t.Errorf("zero-bandwidth ridge = %v, want +Inf", r)
 	}
 }

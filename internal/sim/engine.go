@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"time"
 
@@ -101,7 +100,9 @@ func SimulateLayer(w Work, cfg Config) Timing {
 	plat := cfg.Platform
 	capacity := cfg.Clocks.Capacity()
 	peak := plat.PeakAt(cfg.DType, cfg.Clocks.GPUMHz) * plat.MaxComputeEff * capacity
-	bw := plat.BWAt(cfg.Clocks.EMCMHz) * plat.MaxMemEff
+	// MemEffAt applies the platform's EMC efficiency curve: DRAM
+	// efficiency is not flat across memory clocks (Table 6 #2/#5).
+	bw := plat.BWAt(cfg.Clocks.EMCMHz) * plat.MemEffAt(cfg.Clocks.EMCMHz)
 	// Down-clocked GPUs cannot issue memory transactions fast enough
 	// to saturate DRAM (Table 6's achieved-BW drop at low GPU clocks);
 	// power-gated TPCs reduce the issue rate too.
@@ -206,7 +207,7 @@ func measuredBytes(w Work, cfg Config) int64 {
 	if w.Bytes == 0 {
 		return 0
 	}
-	d := jitter(jitterKey(w)+"/bytes", 0, 1) // stable across runs
+	d := jitter2(jitterKey(w), "/bytes", 0, 1) // stable across runs
 	// Map [-1,1] to [-5%, +8%].
 	frac := 0.015 + d*0.065
 	return int64(float64(w.Bytes) * (1 + frac))
@@ -223,12 +224,39 @@ func jitterKey(w Work) string {
 
 // jitter returns a deterministic pseudo-random value in [-scale, scale]
 // derived from the layer identity and seed.
+//
+//lint:hotpath
 func jitter(name string, seed uint64, scale float64) float64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	_, _ = h.Write([]byte{byte(seed), byte(seed >> 8), byte(seed >> 16), byte(seed >> 24)})
-	v := h.Sum64()
-	u := float64(v%1_000_000)/500_000 - 1 // [-1, 1)
+	return jitter2(name, "", seed, scale)
+}
+
+// FNV-1a 64-bit parameters (hash/fnv), inlined: the stdlib hasher
+// escapes to the heap and its Write takes []byte, which costs one
+// allocation per string conversion — on the per-request hot path that
+// is two allocations per simulated layer. The inline fold below is
+// byte-identical to fnv.New64a().Write(name+suffix+seedBytes).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// jitter2 is jitter over the concatenation name+suffix without
+// materializing the concatenated string.
+//
+//lint:hotpath
+func jitter2(name, suffix string, seed uint64, scale float64) float64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime64
+	}
+	for i := 0; i < len(suffix); i++ {
+		h = (h ^ uint64(suffix[i])) * fnvPrime64
+	}
+	h = (h ^ uint64(byte(seed))) * fnvPrime64
+	h = (h ^ uint64(byte(seed>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(seed>>16))) * fnvPrime64
+	h = (h ^ uint64(byte(seed>>24))) * fnvPrime64
+	u := float64(h%1_000_000)/500_000 - 1 // [-1, 1)
 	return u * scale
 }
 

@@ -37,6 +37,7 @@ import (
 	"proof/internal/graph"
 	"proof/internal/graphops"
 	"proof/internal/hardware"
+	"proof/internal/hardware/characterize"
 	"proof/internal/memo"
 	"proof/internal/modelfmt"
 	"proof/internal/models"
@@ -421,4 +422,35 @@ func MeasurePeakCtx(ctx context.Context, platform string, dt DataType, clk Clock
 		return PeakResult{}, err
 	}
 	return roofline.MeasurePeak(ctx, plat, dt, clk, 1)
+}
+
+// Calibration is the measured characterization of one platform's
+// achievable ceilings (see internal/hardware/characterize).
+type Calibration = hardware.Calibration
+
+// CalibrationFile is the on-disk calibration.json format.
+type CalibrationFile = hardware.CalibrationFile
+
+// CharacterizeOptions tunes a characterization run.
+type CharacterizeOptions = characterize.Options
+
+// CharacterizeResult is the per-platform characterization outcome.
+type CharacterizeResult = characterize.Result
+
+// CharacterizePlatform runs the characterization protocol — the
+// kernel-launch ladder, strided-copy sweep and MatMul ladder that
+// derive the platform's achievable ceilings from micro-benchmarks run
+// through its backend — against one platform.
+func CharacterizePlatform(ctx context.Context, platform string, opts CharacterizeOptions) (*CharacterizeResult, error) {
+	plat, err := hardware.Get(platform)
+	if err != nil {
+		return nil, err
+	}
+	return characterize.Platform(ctx, plat, opts)
+}
+
+// CharacterizeAll characterizes every platform and returns the
+// calibration file `proof characterize` writes.
+func CharacterizeAll(ctx context.Context, opts CharacterizeOptions) (*CalibrationFile, []*CharacterizeResult, error) {
+	return characterize.All(ctx, opts)
 }
